@@ -1,0 +1,47 @@
+// Ablation: cache-bus buffer depth (§4.2).
+//
+// "We found that there were almost never any uncompleted shared accesses
+//  when a lock or unlock was done.  Therefore it is debatable whether
+//  cache-bus buffers should be as deep as those we simulated."
+//
+// We sweep the buffer depth under weak ordering and report run-time and the
+// fraction of syncs that found pending accesses.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/table.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace syncpat;
+  const std::uint64_t scale = core::scale_from_env(bench::kDefaultScale * 2);
+  bench::print_scale_banner(scale);
+  std::cout << "Ablation: cache-bus buffer depth under weak ordering\n\n";
+
+  report::Table t("Run-time (1000s of cycles) and syncs-with-pending by depth");
+  t.columns({"Program", "d=1", "d=2", "d=4", "d=8", "pend@4"});
+  for (const auto& profile :
+       {workload::grav_profile(), workload::pverify_profile(),
+        workload::qsort_profile()}) {
+    std::vector<std::string> row{profile.name};
+    std::string pending;
+    for (const std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+      core::MachineConfig config;
+      config.consistency = bus::ConsistencyModel::kWeak;
+      config.cache_bus_buffer_depth = depth;
+      const auto r = core::run_experiment(config, profile, scale).sim;
+      row.push_back(util::with_commas(r.run_time / 1000));
+      if (depth == 4) {
+        pending = util::with_commas(r.syncs_with_pending) + "/" +
+                  util::with_commas(r.syncs);
+      }
+    }
+    row.push_back(pending.empty() ? "n/a" : pending);
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: run-times barely move past depth 1-2, "
+               "confirming the paper's\nsuspicion that the 4-deep buffer is "
+               "over-provisioned for this machine.\n";
+  return 0;
+}

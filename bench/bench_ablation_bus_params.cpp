@@ -1,0 +1,58 @@
+// Ablation: bus and memory parameter sensitivity (§2.1).
+//
+// "This performance evaluation tool allows us ... to assess the effect of
+//  changes in system parameters (e.g., bus and memory cycle times).  Since
+//  the latter parameters did not modify the general trends of our results,
+//  we will not consider them further."
+//
+// We vary the bus width and memory cycle time on the two contention-bound
+// programs and check that the *trend* — queuing locks beating T&T&S — holds
+// everywhere.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/table.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace syncpat;
+  const std::uint64_t scale = core::scale_from_env(bench::kDefaultScale * 2);
+  bench::print_scale_banner(scale);
+  std::cout << "Ablation: T&T&S slowdown vs queuing across machine "
+               "parameters\n\n";
+
+  report::Table t("T&T&S run-time increase over queuing (%)");
+  t.columns({"Config", "Grav", "Pdsa"});
+  struct Variant {
+    const char* label;
+    std::uint32_t bus_bytes;
+    std::uint32_t mem_cycles;
+  };
+  const Variant variants[] = {
+      {"bus 8B, mem 3cy (paper)", 8, 3},
+      {"bus 4B, mem 3cy", 4, 3},
+      {"bus 16B, mem 3cy", 16, 3},
+      {"bus 8B, mem 6cy", 8, 6},
+      {"bus 8B, mem 12cy", 8, 12},
+  };
+  for (const auto& v : variants) {
+    std::vector<std::string> row{v.label};
+    for (const auto& profile :
+         {workload::grav_profile(), workload::pdsa_profile()}) {
+      core::MachineConfig config;
+      config.bus_bytes = v.bus_bytes;
+      config.memory.access_cycles = v.mem_cycles;
+      config.lock_scheme = sync::SchemeKind::kQueuing;
+      const auto q = core::run_experiment(config, profile, scale).sim;
+      config.lock_scheme = sync::SchemeKind::kTtas;
+      const auto tt = core::run_experiment(config, profile, scale).sim;
+      row.push_back(util::fixed(-tt.runtime_change_pct(q), 2));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: the slowdown varies in magnitude but stays "
+               "positive everywhere —\nthe paper's general trends are "
+               "insensitive to these parameters.\n";
+  return 0;
+}

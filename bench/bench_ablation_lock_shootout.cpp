@@ -1,0 +1,69 @@
+// Ablation: lock-scheme shootout on a synthetic high-contention kernel —
+// the style of experiment in Anderson [3] and Graunke & Thakkar [12] that
+// the paper contrasts its real-program study against.
+//
+// Every processor loops { acquire; tiny critical section; release; think },
+// and we sweep the processor count for test-and-set, test-and-test-and-set,
+// ticket and queuing locks, reporting lock hand-off latency and aggregate
+// throughput (acquisitions per 1000 cycles).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/table.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+syncpat::workload::BenchmarkProfile contended_profile(std::uint32_t procs) {
+  syncpat::workload::BenchmarkProfile p;
+  p.name = "shootout";
+  p.num_procs = procs;
+  p.refs_per_proc = 30'000;
+  p.data_ref_fraction = 0.3;
+  p.work_cycles_per_ref = 2.0;
+  p.locking.pairs_per_proc = 600;
+  p.locking.cs_work_cycles = 40;   // short critical sections, heavy arrivals
+  p.locking.num_locks = 1;
+  p.locking.dominant_weight = 1.0;
+  p.seed = 0x51ac;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace syncpat;
+  std::cout << "Ablation: lock-scheme shootout under high contention\n\n";
+
+  const sync::SchemeKind kinds[] = {
+      sync::SchemeKind::kTas,    sync::SchemeKind::kTasBackoff,
+      sync::SchemeKind::kTtas,   sync::SchemeKind::kTicket,
+      sync::SchemeKind::kAnderson, sync::SchemeKind::kQueuing};
+
+  report::Table latency("Lock transfer latency (cycles) vs processors");
+  report::Table runtime("Run-time (1000s of cycles) vs processors");
+  latency.columns({"Scheme", "p=2", "p=4", "p=8", "p=12"});
+  runtime.columns({"Scheme", "p=2", "p=4", "p=8", "p=12"});
+
+  for (const auto kind : kinds) {
+    std::vector<std::string> lat_row{sync::scheme_kind_name(kind)};
+    std::vector<std::string> rt_row{sync::scheme_kind_name(kind)};
+    for (const std::uint32_t procs : {2u, 4u, 8u, 12u}) {
+      core::MachineConfig config;
+      config.lock_scheme = kind;
+      const auto r =
+          core::run_experiment(config, contended_profile(procs), 1).sim;
+      lat_row.push_back(util::fixed(r.locks.transfer_cycles.mean(), 1));
+      rt_row.push_back(util::with_commas(r.run_time / 1000));
+    }
+    latency.add_row(std::move(lat_row));
+    runtime.add_row(std::move(rt_row));
+  }
+  latency.print(std::cout);
+  runtime.print(std::cout);
+  std::cout << "Expected shape (Anderson [3], Graunke-Thakkar [12]): T&S "
+               "degrades sharply with\nprocessors, T&T&S grows to ~20+ cycle "
+               "hand-offs, ticket halves the burst, and\nqueuing stays ~flat "
+               "at a couple of cycles.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the table-reproduction benches.
+//
+// Every bench accepts the SYNCPAT_SCALE environment variable (default 8):
+// traces are 1/scale the paper's length, and count-like columns are scaled
+// back up for display.  SYNCPAT_SCALE=1 reproduces paper-length traces.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/machine_config.hpp"
+#include "core/results.hpp"
+#include "trace/analyzer.hpp"
+#include "workload/profiles.hpp"
+
+namespace syncpat::bench {
+
+inline constexpr std::uint64_t kDefaultScale = 8;
+
+struct SuiteRun {
+  std::uint64_t scale = kDefaultScale;
+  std::vector<trace::IdealProgramStats> ideal;
+  std::vector<core::SimulationResult> results;
+};
+
+/// Runs all six paper benchmarks under `config`.  `skip_lockless` drops
+/// Topopt (Tables 4-6 and 8 have no row for it; Table 5 also omits it).
+inline SuiteRun run_suite(core::MachineConfig config, bool skip_lockless) {
+  SuiteRun run;
+  run.scale = core::scale_from_env(kDefaultScale);
+  for (const auto& profile : workload::paper_profiles()) {
+    if (skip_lockless && profile.locking.pairs_per_proc == 0) continue;
+    const core::ExperimentOutcome outcome =
+        core::run_experiment(config, profile, run.scale);
+    run.ideal.push_back(outcome.ideal);
+    run.results.push_back(outcome.sim);
+  }
+  return run;
+}
+
+inline void print_scale_banner(std::uint64_t scale) {
+  std::cout << "[trace scale 1/" << scale
+            << " of paper length; set SYNCPAT_SCALE=1 for full length]\n\n";
+}
+
+inline void print_transfer_latencies(const std::vector<core::SimulationResult>& rs) {
+  std::cout << "Average lock transfer time (release -> next acquire, cycles):\n";
+  for (const auto& r : rs) {
+    if (r.locks.transfers == 0) continue;
+    std::cout << "  " << r.program << ": "
+              << r.locks.transfer_cycles.mean() << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace syncpat::bench

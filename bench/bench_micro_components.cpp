@@ -1,0 +1,97 @@
+// Component microbenchmarks (google-benchmark): throughput of the simulator
+// building blocks, so performance regressions in the instrument itself are
+// visible.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "core/experiment.hpp"
+#include "core/machine_config.hpp"
+#include "trace/mpt.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace syncpat;
+
+void BM_RngNextU64(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RingBufferPushPop(benchmark::State& state) {
+  util::RingBuffer<int> rb(4);
+  for (auto _ : state) {
+    rb.push_back(1);
+    benchmark::DoNotOptimize(rb.pop_front());
+  }
+}
+BENCHMARK(BM_RingBufferPushPop);
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  cache::Cache c(cache::CacheConfig{});
+  c.allocate(0x1000);
+  c.fill(0x1000, cache::LineState::kExclusive);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(0x1000, cache::AccessClass::kRead));
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheSnoopMiss(benchmark::State& state) {
+  cache::Cache c(cache::CacheConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.snoop(0x2000, true));
+  }
+}
+BENCHMARK(BM_CacheSnoopMiss);
+
+void BM_GeneratorEvents(benchmark::State& state) {
+  const auto profile = workload::grav_profile().scaled(64);
+  workload::ProfileTraceSource source(profile, 0);
+  trace::Event e;
+  std::uint64_t produced = 0;
+  for (auto _ : state) {
+    if (!source.next(e)) source.reset();
+    benchmark::DoNotOptimize(e);
+    ++produced;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(produced));
+}
+BENCHMARK(BM_GeneratorEvents);
+
+void BM_MptCompactExpand(benchmark::State& state) {
+  const auto profile = workload::qsort_profile().scaled(512);
+  workload::ProfileTraceSource source(profile, 0);
+  const trace::MptStream compacted = trace::compact(source);
+  for (auto _ : state) {
+    trace::MptExpander expander(compacted);
+    trace::Event e;
+    std::uint64_t n = 0;
+    while (expander.next(e)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_MptCompactExpand);
+
+// Whole-simulator throughput: simulated cycles per second on a small
+// contended workload.
+void BM_SimulatorCycles(benchmark::State& state) {
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    workload::BenchmarkProfile profile = workload::pdsa_profile().scaled(256);
+    core::MachineConfig config;
+    const auto outcome = core::run_experiment(config, profile, 1);
+    cycles += outcome.sim.run_time;
+    benchmark::DoNotOptimize(outcome.sim.run_time);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_SimulatorCycles)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Table 1: Benchmark Ideal Statistics — work cycles and reference counts per
+// processor, from the zero-contention analysis of the six workload models.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/paper_tables.hpp"
+
+int main() {
+  using namespace syncpat;
+  const std::uint64_t scale = core::scale_from_env(bench::kDefaultScale);
+  bench::print_scale_banner(scale);
+
+  std::vector<trace::IdealProgramStats> stats;
+  for (const auto& profile : workload::paper_profiles()) {
+    stats.push_back(core::run_ideal(profile, scale));
+  }
+  report::table1_ideal(stats, scale).print(std::cout);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Table 2: Benchmark Ideal Lock Statistics — lock pairs, nested pairs and
+// ideal hold times from the zero-contention analysis.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/paper_tables.hpp"
+
+int main() {
+  using namespace syncpat;
+  const std::uint64_t scale = core::scale_from_env(bench::kDefaultScale);
+  bench::print_scale_banner(scale);
+
+  std::vector<trace::IdealProgramStats> stats;
+  for (const auto& profile : workload::paper_profiles()) {
+    stats.push_back(core::run_ideal(profile, scale));
+  }
+  report::table2_ideal_locks(stats, scale).print(std::cout);
+  return 0;
+}

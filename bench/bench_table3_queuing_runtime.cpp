@@ -1,0 +1,16 @@
+// Table 3: Benchmark Runtime Statistics with the queuing-lock
+// implementation under sequential consistency.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/paper_tables.hpp"
+
+int main() {
+  using namespace syncpat;
+  core::MachineConfig config;
+  config.lock_scheme = sync::SchemeKind::kQueuing;
+  const bench::SuiteRun run = bench::run_suite(config, /*skip_lockless=*/false);
+  bench::print_scale_banner(run.scale);
+  report::table_runtime(3, run.results, run.scale).print(std::cout);
+  return 0;
+}

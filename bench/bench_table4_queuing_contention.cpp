@@ -1,0 +1,34 @@
+// Table 4: Lock Contention Statistics with the queuing-lock implementation.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/paper_tables.hpp"
+#include "report/per_lock.hpp"
+#include "core/simulator.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace syncpat;
+  core::MachineConfig config;
+  config.lock_scheme = sync::SchemeKind::kQueuing;
+  const bench::SuiteRun run = bench::run_suite(config, /*skip_lockless=*/true);
+  bench::print_scale_banner(run.scale);
+  report::table_contention(4, run.results, run.scale).print(std::cout);
+  bench::print_transfer_latencies(run.results);
+  std::cout << "(paper: queuing-lock transfers take ~1.2-1.5 cycles)\n\n";
+
+  // The paper attributes Grav/Pdsa contention to the dominant Presto
+  // scheduler lock (§2.3); show the per-lock breakdown for Grav.
+  {
+    workload::BenchmarkProfile grav = workload::grav_profile().scaled(run.scale);
+    trace::ProgramTrace program = workload::make_program_trace(grav);
+    core::MachineConfig config;
+    config.num_procs = grav.num_procs;
+    core::Simulator sim(config, program);
+    sim.run();
+    std::cout << "Grav breakdown (lock 0 is the scheduler lock, lock 1 the "
+                 "nested thread-queue lock):\n";
+    report::per_lock_table(sim.lock_stats(), 6).print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 5: Benchmark Runtime Statistics with Test&Test&Set locks.  The
+// paper's headline: Grav and Pdsa run ~8% longer than under queuing locks.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/paper_tables.hpp"
+
+int main() {
+  using namespace syncpat;
+  core::MachineConfig config;
+
+  config.lock_scheme = sync::SchemeKind::kTtas;
+  const bench::SuiteRun ttas = bench::run_suite(config, /*skip_lockless=*/true);
+  bench::print_scale_banner(ttas.scale);
+  report::table_runtime(5, ttas.results, ttas.scale).print(std::cout);
+
+  config.lock_scheme = sync::SchemeKind::kQueuing;
+  const bench::SuiteRun queuing = bench::run_suite(config, /*skip_lockless=*/true);
+  std::cout << "Run-time increase vs queuing locks (paper: Grav +8.0%, "
+               "Pdsa +8.1%, others ~0%):\n";
+  for (std::size_t i = 0; i < ttas.results.size(); ++i) {
+    const double pct = -ttas.results[i].runtime_change_pct(queuing.results[i]);
+    std::cout << "  " << ttas.results[i].program << ": "
+              << (pct >= 0 ? "+" : "") << pct << "%\n";
+  }
+  std::cout << "\nBus utilization, queuing -> T&T&S (paper: Grav doubles, "
+               "Pdsa +40%):\n";
+  for (std::size_t i = 0; i < ttas.results.size(); ++i) {
+    std::cout << "  " << ttas.results[i].program << ": "
+              << 100.0 * queuing.results[i].bus_utilization << "% -> "
+              << 100.0 * ttas.results[i].bus_utilization << "%\n";
+  }
+  return 0;
+}

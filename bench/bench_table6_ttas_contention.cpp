@@ -1,0 +1,18 @@
+// Table 6: Lock Contention Statistics with Test&Test&Set locks.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/paper_tables.hpp"
+
+int main() {
+  using namespace syncpat;
+  core::MachineConfig config;
+  config.lock_scheme = sync::SchemeKind::kTtas;
+  const bench::SuiteRun run = bench::run_suite(config, /*skip_lockless=*/true);
+  bench::print_scale_banner(run.scale);
+  report::table_contention(6, run.results, run.scale).print(std::cout);
+  bench::print_transfer_latencies(run.results);
+  std::cout << "(paper: with many waiters a T&T&S transfer takes ~21-25 "
+               "cycles)\n";
+  return 0;
+}

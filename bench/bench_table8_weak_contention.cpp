@@ -1,0 +1,18 @@
+// Table 8: Weak Ordering Lock Contention Statistics — locking patterns are
+// essentially unchanged by the memory model.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/paper_tables.hpp"
+
+int main() {
+  using namespace syncpat;
+  core::MachineConfig config;
+  config.lock_scheme = sync::SchemeKind::kQueuing;
+  config.consistency = bus::ConsistencyModel::kWeak;
+  const bench::SuiteRun run = bench::run_suite(config, /*skip_lockless=*/true);
+  bench::print_scale_banner(run.scale);
+  report::table_contention(8, run.results, run.scale).print(std::cout);
+  bench::print_transfer_latencies(run.results);
+  return 0;
+}

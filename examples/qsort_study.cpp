@@ -1,0 +1,76 @@
+// End-to-end reproduction of the paper's methodology on a *real* program:
+// a parallel quicksort executes against the modeled address space (every
+// array element it touches and every work-queue lock operation is recorded,
+// MPTrace-style), and the resulting trace is analyzed and simulated under
+// both lock schemes and both memory models.
+//
+//   ./qsort_study [elements] [threads]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/simulator.hpp"
+#include "report/table.hpp"
+#include "trace/analyzer.hpp"
+#include "util/format.hpp"
+#include "workload/kernels/qsort_kernel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace syncpat;
+
+  workload::QsortParams params;
+  params.num_elements = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
+                                 : 50'000;
+  params.num_threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2]))
+                                : 12;
+
+  std::cout << "Sorting " << util::with_commas(std::uint64_t{params.num_elements})
+            << " integers on " << params.num_threads
+            << " virtual processors (work-queue + insertion-sort cutoff "
+            << params.insertion_cutoff << ")...\n\n";
+
+  // Phase 1: run the instrumented program (the sort is verified internally).
+  trace::ProgramTrace program = workload::qsort_trace(params);
+
+  // Phase 2: the "ideal" analysis (Tables 1/2 of the paper).
+  const trace::IdealProgramStats ideal = trace::analyze_program(program);
+  std::cout << "Ideal statistics (per-processor averages):\n"
+            << "  work cycles : "
+            << util::with_commas(static_cast<std::uint64_t>(ideal.avg_work_cycles()))
+            << "\n  references  : "
+            << util::with_commas(static_cast<std::uint64_t>(ideal.avg_refs_all()))
+            << "\n  lock pairs  : " << util::fixed(ideal.avg_lock_pairs(), 1)
+            << "\n  avg held    : " << util::fixed(ideal.avg_hold_per_pair(), 1)
+            << " cycles\n  time locked : "
+            << util::percent(ideal.held_time_fraction(), 2) << "%\n\n";
+
+  // Phase 3: simulate the four machine variants.
+  report::Table t("Simulated machine variants");
+  t.columns({"Locks", "Model", "run-time", "Util%", "lock-stall%", "Waiters",
+             "Transfer(cy)"});
+  for (const auto scheme :
+       {sync::SchemeKind::kQueuing, sync::SchemeKind::kTtas}) {
+    for (const auto model :
+         {bus::ConsistencyModel::kSequential, bus::ConsistencyModel::kWeak}) {
+      core::MachineConfig config;
+      config.lock_scheme = scheme;
+      config.consistency = model;
+      config.num_procs = params.num_threads;
+      program.reset_all();
+      core::Simulator sim(config, program);
+      const core::SimulationResult r = sim.run();
+      t.add_row({sync::scheme_kind_name(scheme), bus::consistency_name(model),
+                 util::with_commas(r.run_time),
+                 util::percent(r.avg_utilization, 1),
+                 util::fixed(r.stall_lock_pct, 1),
+                 util::fixed(r.locks.waiters_at_transfer.mean(), 2),
+                 util::fixed(r.locks.transfer_cycles.mean(), 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "The work-queue lock is short and only moderately contended, "
+               "so (as the paper\nfound for Qsort) the lock implementation "
+               "and memory model barely matter;\nread misses on the big "
+               "array dominate.\n";
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Command-line driver: run any benchmark model (or a trace file) on any
+// machine variant and print — or export as CSV — the full result set.
+//
+//   syncpat_cli [options]
+//     --program NAME|PATH   Grav|Pdsa|FullConn|Pverify|Qsort|Topopt, or a
+//                           .sptrace file written by save_program_trace
+//                           (default Grav)
+//     --scheme NAME         queuing|queuing-exact|ttas|tas|tas-backoff|
+//                           ticket|anderson (default queuing)
+//     --consistency NAME    sequential|weak (default sequential)
+//     --write-policy NAME   write-back|write-through (default write-back)
+//     --scale N             trace length divisor (default 8)
+//     --procs N             override processor count (profiles only)
+//     --buffer N            cache-bus buffer depth (default 4)
+//     --mem-cycles N        memory access time (default 3)
+//     --per-lock            print the per-lock contention breakdown
+//     --csv                 emit results as CSV instead of a table
+//     --validate            validate the trace and exit
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/machine_config.hpp"
+#include "core/simulator.hpp"
+#include "report/per_lock.hpp"
+#include "report/table.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/io.hpp"
+#include "trace/validate.hpp"
+#include "util/format.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace syncpat;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--program P] [--scheme S] [--consistency C]\n"
+               "  [--write-policy W] [--scale N] [--procs N] [--buffer N]\n"
+               "  [--mem-cycles N] [--per-lock] [--csv] [--validate]\n";
+  std::exit(2);
+}
+
+struct Options {
+  std::string program = "Grav";
+  std::string scheme = "queuing";
+  std::string consistency = "sequential";
+  std::string write_policy = "write-back";
+  std::uint64_t scale = 8;
+  std::uint32_t procs = 0;
+  std::uint32_t buffer = 4;
+  std::uint32_t mem_cycles = 3;
+  bool per_lock = false;
+  bool csv = false;
+  bool validate = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--program") opt.program = value();
+    else if (arg == "--scheme") opt.scheme = value();
+    else if (arg == "--consistency") opt.consistency = value();
+    else if (arg == "--write-policy") opt.write_policy = value();
+    else if (arg == "--scale") opt.scale = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--procs") opt.procs = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    else if (arg == "--buffer") opt.buffer = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    else if (arg == "--mem-cycles") opt.mem_cycles = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    else if (arg == "--per-lock") opt.per_lock = true;
+    else if (arg == "--csv") opt.csv = true;
+    else if (arg == "--validate") opt.validate = true;
+    else usage(argv[0]);
+  }
+  if (opt.scale == 0) opt.scale = 1;
+  return opt;
+}
+
+trace::ProgramTrace load_program(const Options& opt) {
+  for (const auto& profile : workload::paper_profiles()) {
+    if (profile.name == opt.program) {
+      workload::BenchmarkProfile p = profile.scaled(opt.scale);
+      if (opt.procs > 0) p.num_procs = opt.procs;
+      return workload::make_program_trace(p);
+    }
+  }
+  // Not a known profile name: treat as a trace-file path.
+  return trace::load_program_trace(opt.program);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  trace::ProgramTrace program;
+  try {
+    program = load_program(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "cannot load program '" << opt.program << "': " << e.what()
+              << "\n";
+    return 1;
+  }
+
+  if (opt.validate) {
+    const trace::ValidationReport report = trace::validate_program(program);
+    std::cout << report.to_string();
+    return report.ok() ? 0 : 1;
+  }
+
+  core::MachineConfig config;
+  try {
+    config.lock_scheme = sync::scheme_kind_from_name(opt.scheme);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (opt.consistency == "sequential") {
+    config.consistency = bus::ConsistencyModel::kSequential;
+  } else if (opt.consistency == "weak") {
+    config.consistency = bus::ConsistencyModel::kWeak;
+  } else {
+    std::cerr << "unknown consistency model: " << opt.consistency << "\n";
+    return 1;
+  }
+  if (opt.write_policy == "write-back") {
+    config.write_policy = cache::WritePolicy::kWriteBack;
+  } else if (opt.write_policy == "write-through") {
+    config.write_policy = cache::WritePolicy::kWriteThrough;
+  } else {
+    std::cerr << "unknown write policy: " << opt.write_policy << "\n";
+    return 1;
+  }
+  config.cache_bus_buffer_depth = opt.buffer;
+  config.memory.access_cycles = opt.mem_cycles;
+  config.num_procs = static_cast<std::uint32_t>(program.num_procs());
+
+  const trace::IdealProgramStats ideal = trace::analyze_program(program);
+  core::Simulator sim(config, program);
+  const core::SimulationResult r = sim.run();
+
+  report::Table t("syncpat: " + r.program + " on " + r.scheme + "/" +
+                  r.consistency + "/" + opt.write_policy);
+  t.columns({"Metric", "Value"});
+  t.add_row({"processors", std::to_string(r.num_procs)});
+  t.add_row({"run-time (cycles)", util::with_commas(r.run_time)});
+  t.add_row({"utilization %", util::percent(r.avg_utilization, 1)});
+  t.add_row({"stalls cache %", util::fixed(r.stall_cache_pct, 1)});
+  t.add_row({"stalls lock %", util::fixed(r.stall_lock_pct, 1)});
+  t.add_row({"bus utilization %", util::percent(r.bus_utilization, 1)});
+  t.add_row({"write-hit %", util::percent(r.write_hit_ratio, 1)});
+  t.add_row({"lock acquisitions", util::with_commas(r.locks.acquisitions)});
+  t.add_row({"lock transfers", util::with_commas(r.locks.transfers)});
+  t.add_row({"waiters at transfer", util::fixed(r.locks.waiters_at_transfer.mean(), 2)});
+  t.add_row({"transfer latency (cy)", util::fixed(r.locks.transfer_cycles.mean(), 1)});
+  t.add_row({"hold time (cy)", util::fixed(r.locks.hold_cycles.mean(), 0)});
+  t.add_row({"ideal work/proc", util::with_commas(static_cast<std::uint64_t>(
+                                    ideal.avg_work_cycles()))});
+  t.add_row({"ideal lock pairs/proc", util::fixed(ideal.avg_lock_pairs(), 1)});
+  t.add_row({"ideal time locked %", util::percent(ideal.held_time_fraction(), 1)});
+  t.add_row({"barriers completed", util::with_commas(r.barriers_completed)});
+  t.add_row({"bus txns (r/x/u/wb/wt)",
+             util::with_commas(r.traffic.reads) + "/" +
+                 util::with_commas(r.traffic.readx) + "/" +
+                 util::with_commas(r.traffic.upgrades) + "/" +
+                 util::with_commas(r.traffic.writebacks) + "/" +
+                 util::with_commas(r.traffic.write_throughs)});
+  if (opt.csv) {
+    std::cout << t.to_csv();
+  } else {
+    t.print(std::cout);
+  }
+  if (opt.per_lock) {
+    report::per_lock_table(sim.lock_stats()).print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Trace-pipeline walkthrough: generate a calibrated benchmark model, save it
+// as a full binary trace, compact it MPTrace-style, verify the expansion is
+// lossless, and re-analyze the loaded file — the whole §2.1 toolchain.
+//
+//   ./trace_tools [profile-name] [scale]   (default: Pdsa at 1/64 length)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "trace/analyzer.hpp"
+#include "trace/io.hpp"
+#include "trace/mpt.hpp"
+#include "util/format.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace syncpat;
+
+  const std::string wanted = argc > 1 ? argv[1] : "Pdsa";
+  const std::uint64_t scale =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 64;
+
+  workload::BenchmarkProfile profile;
+  bool found = false;
+  for (const auto& p : workload::paper_profiles()) {
+    if (p.name == wanted) {
+      profile = p;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::cerr << "unknown profile '" << wanted
+              << "' (try Grav, Pdsa, FullConn, Pverify, Qsort, Topopt)\n";
+    return 1;
+  }
+
+  std::cout << "Generating " << profile.name << " at 1/" << scale
+            << " of paper trace length...\n";
+  trace::ProgramTrace program =
+      workload::make_program_trace(profile.scaled(scale));
+
+  // Save the expanded trace.
+  const std::string path = "/tmp/" + profile.name + ".sptrace";
+  trace::save_program_trace(path, program);
+  std::cout << "  wrote " << path << "\n";
+
+  // Compact processor 0's stream MPTrace-style and report the ratio.
+  program.reset_all();
+  const trace::MptStream compacted = trace::compact(*program.per_proc[0]);
+  const std::uint64_t full_bytes = compacted.expanded_size() * 9;
+  std::cout << "  MPT compaction (processor 0): "
+            << util::with_commas(full_bytes) << " -> "
+            << util::with_commas(compacted.compact_bytes()) << " bytes ("
+            << util::fixed(100.0 * static_cast<double>(compacted.compact_bytes()) /
+                               static_cast<double>(full_bytes),
+                           1)
+            << "% of full), dictionary of " << compacted.dictionary.size()
+            << " block skeletons\n";
+
+  // Verify lossless expansion.
+  program.reset_all();
+  trace::MptExpander expander(compacted);
+  trace::Event a, b;
+  std::uint64_t checked = 0;
+  while (program.per_proc[0]->next(a)) {
+    if (!expander.next(b) || !(a == b)) {
+      std::cerr << "  MPT expansion mismatch at event " << checked << "\n";
+      return 1;
+    }
+    ++checked;
+  }
+  std::cout << "  expansion verified lossless over "
+            << util::with_commas(checked) << " events\n";
+
+  // Reload the file and run the ideal analysis on it.
+  trace::ProgramTrace loaded = trace::load_program_trace(path);
+  const trace::IdealProgramStats stats = trace::analyze_program(loaded);
+  std::cout << "\nIdeal analysis of the reloaded trace:\n"
+            << "  procs        : " << stats.num_procs << "\n  refs/proc    : "
+            << util::with_commas(static_cast<std::uint64_t>(stats.avg_refs_all()))
+            << "\n  lock pairs   : " << util::fixed(stats.avg_lock_pairs(), 1)
+            << "\n  time in locks: "
+            << util::percent(stats.held_time_fraction(), 1) << "%\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Split-transaction bus with round-robin arbitration (paper §2.2).
+//
+// The bus is 64 bits wide; a 16-byte line therefore takes two data cycles.
+// A memory-bound request occupies the bus for one address cycle only, the
+// bus is released while memory works, and the response re-arbitrates for the
+// bus (split transaction).  Cache-to-cache supplies, upgrades, write-backs
+// and lock hand-offs hold the bus for their whole duration.
+//
+// The Bus object itself is the occupancy/arbitration/statistics engine; the
+// simulator performs the snoop and routing when a grant happens.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bus/transaction.hpp"
+#include "util/assert.hpp"
+
+namespace syncpat::bus {
+
+struct BusConfig {
+  std::uint32_t ports = 0;            // arbitration ring size (procs + memory)
+  std::uint32_t request_cycles = 1;   // address phase
+  std::uint32_t data_cycles = 2;      // line transfer (line/bus width)
+};
+
+class Bus {
+ public:
+  explicit Bus(const BusConfig& config) : config_(config) {
+    SYNCPAT_ASSERT(config.ports > 0);
+  }
+
+  [[nodiscard]] bool free() const { return current_ == nullptr; }
+  [[nodiscard]] Transaction* current() const { return current_; }
+
+  /// Occupies the bus with `txn` for `cycles` bus cycles starting this
+  /// cycle.  Precondition: free().
+  void occupy(Transaction* txn, std::uint32_t cycles) {
+    SYNCPAT_ASSERT(free());
+    SYNCPAT_ASSERT(cycles > 0);
+    current_ = txn;
+    remaining_ = cycles;
+  }
+
+  /// Advances one cycle.  Returns the transaction whose bus tenure finished
+  /// at the end of this cycle, if any.
+  Transaction* tick() {
+    ++total_cycles_;
+    if (current_ == nullptr) return nullptr;
+    ++busy_cycles_;
+    if (--remaining_ > 0) return nullptr;
+    Transaction* done = current_;
+    current_ = nullptr;
+    return done;
+  }
+
+  /// Round-robin scan order: returns the port to consider `offset` places
+  /// after the last grant.
+  [[nodiscard]] std::uint32_t rr_port(std::uint32_t offset) const {
+    return (rr_next_ + offset) % config_.ports;
+  }
+  /// Records that `port` won arbitration; the scan restarts after it.
+  void granted(std::uint32_t port) { rr_next_ = (port + 1) % config_.ports; }
+
+  [[nodiscard]] const BusConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
+  [[nodiscard]] std::uint64_t total_cycles() const { return total_cycles_; }
+  [[nodiscard]] double utilization() const {
+    return total_cycles_ > 0
+               ? static_cast<double>(busy_cycles_) /
+                     static_cast<double>(total_cycles_)
+               : 0.0;
+  }
+
+ private:
+  BusConfig config_;
+  Transaction* current_ = nullptr;
+  std::uint32_t remaining_ = 0;
+  std::uint32_t rr_next_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+  std::uint64_t total_cycles_ = 0;
+};
+
+}  // namespace syncpat::bus

@@ -1,0 +1,90 @@
+// Bus transaction model.
+//
+// Every action that crosses a processor's cache boundary is a Transaction:
+// line fetches (Read/ReadX), ownership upgrades (invalidations), dirty-line
+// write-backs, and queuing-lock hand-off transfers.  Transactions are owned
+// by the simulator; queues hold non-owning pointers.
+#pragma once
+
+#include <cstdint>
+
+namespace syncpat::bus {
+
+enum class TxnKind : std::uint8_t {
+  kRead,          // fetch a line for reading (may be supplied cache-to-cache)
+  kReadX,         // fetch a line for ownership (write miss / atomic op)
+  kUpgrade,       // invalidate other copies of a Shared line we hold
+  kWriteBack,     // dirty eviction to memory
+  kHandoff,       // queuing-lock cache-to-cache lock transfer (timing only)
+  kWriteThrough,  // one-word store to memory + invalidation (WT caches)
+};
+
+[[nodiscard]] const char* txn_kind_name(TxnKind k);
+
+/// Why the issuing processor is (or is not) stalled on this transaction;
+/// drives the paper's stall-cause split (Tables 3/5).
+enum class StallCause : std::uint8_t {
+  kNone,       // nobody waits (write-back, buffered WO write, hand-off)
+  kCacheMiss,  // ordinary memory access
+  kLockWait,   // access on behalf of acquiring a lock someone else holds
+};
+
+enum class TxnPhase : std::uint8_t {
+  kQueued,       // in a cache-bus buffer
+  kOnBusReq,     // request/address (or full c2c/upgrade/writeback) on bus
+  kInMemory,     // queued at or being serviced by the memory module
+  kMemOutput,    // response waiting for the bus
+  kOnBusResp,    // response data on bus
+  kDone,
+};
+
+struct Transaction {
+  std::uint64_t id = 0;
+  TxnKind kind = TxnKind::kRead;
+  std::uint32_t line_addr = 0;
+  std::int32_t requester = -1;       // processor id
+  StallCause stall_cause = StallCause::kNone;
+  bool is_lock_op = false;           // issued by a lock scheme
+  std::uint8_t lock_step = 0;        // scheme-private state machine tag
+  bool forced_bus = false;           // atomic op: goes on the bus even on hit
+  bool requester_waiting = false;    // the issuing processor stalls on this
+  TxnPhase phase = TxnPhase::kQueued;
+
+  // Filled at the bus request (snoop) phase:
+  bool supplied_by_cache = false;    // cache-to-cache transfer
+  bool dirty_supplier = false;       // supplier was Modified (memory updated)
+  bool fills_line = false;           // requester cache has a pending slot
+
+  std::uint64_t issued_cycle = 0;
+  std::uint64_t granted_cycle = 0;
+  std::uint64_t completed_cycle = 0;
+
+  [[nodiscard]] bool needs_memory() const {
+    switch (kind) {
+      case TxnKind::kRead:
+      case TxnKind::kReadX:
+        return !supplied_by_cache;
+      case TxnKind::kWriteBack:
+      case TxnKind::kWriteThrough:
+        return true;
+      case TxnKind::kUpgrade:
+      case TxnKind::kHandoff:
+        return false;
+    }
+    return false;
+  }
+
+  /// True for kinds whose request phase may route to memory and therefore
+  /// must not be granted while the memory input buffer is full.
+  [[nodiscard]] bool may_need_memory() const {
+    return kind == TxnKind::kRead || kind == TxnKind::kReadX ||
+           kind == TxnKind::kWriteBack || kind == TxnKind::kWriteThrough;
+  }
+
+  [[nodiscard]] bool is_exclusive_request() const {
+    return kind == TxnKind::kReadX || kind == TxnKind::kUpgrade ||
+           kind == TxnKind::kWriteThrough;
+  }
+};
+
+}  // namespace syncpat::bus

@@ -1,0 +1,205 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+
+namespace syncpat::cache {
+
+const char* state_name(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+    case LineState::kModified: return "M";
+    case LineState::kPending: return "P";
+  }
+  return "?";
+}
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  SYNCPAT_ASSERT(std::has_single_bit(config_.line_bytes));
+  SYNCPAT_ASSERT(config_.associativity > 0);
+  SYNCPAT_ASSERT(config_.size_bytes % (config_.line_bytes * config_.associativity) ==
+                 0);
+  SYNCPAT_ASSERT(std::has_single_bit(config_.num_sets()));
+  lines_.resize(static_cast<std::size_t>(config_.num_sets()) *
+                config_.associativity);
+}
+
+Cache::Line* Cache::find(std::uint32_t addr) {
+  const std::uint32_t set = set_index(addr);
+  const std::uint32_t tag = tag_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& line = base[w];
+    if (line.state != LineState::kInvalid && line.tag == tag) return &line;
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint32_t addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+AccessResult Cache::access(std::uint32_t addr, AccessClass cls) {
+  Line* line = find(addr);
+  const bool present =
+      line != nullptr && line->state != LineState::kPending;
+  AccessResult result;
+  if (present) {
+    result.hit = true;
+    line->lru = ++lru_clock_;
+    if (cls == AccessClass::kWrite) {
+      switch (line->state) {
+        case LineState::kModified:
+          break;
+        case LineState::kExclusive:
+          line->state = LineState::kModified;  // silent upgrade (Illinois)
+          break;
+        case LineState::kShared:
+          result.needs_upgrade = true;  // invalidation required first
+          break;
+        default:
+          SYNCPAT_ASSERT(false);
+      }
+    }
+  }
+
+  switch (cls) {
+    case AccessClass::kIFetch:
+      result.hit ? ++stats_.ifetch_hits : ++stats_.ifetch_misses;
+      break;
+    case AccessClass::kRead:
+      result.hit ? ++stats_.read_hits : ++stats_.read_misses;
+      break;
+    case AccessClass::kWrite:
+      result.hit ? ++stats_.write_hits : ++stats_.write_misses;
+      if (result.needs_upgrade) ++stats_.upgrades;
+      break;
+  }
+  return result;
+}
+
+Cache::AllocateResult Cache::allocate(std::uint32_t line_addr) {
+  SYNCPAT_ASSERT(config_.line_addr(line_addr) == line_addr);
+  SYNCPAT_ASSERT_MSG(find(line_addr) == nullptr,
+                     "allocate() for a line that is already present");
+  const std::uint32_t set = set_index(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.associativity];
+
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& line = base[w];
+    if (line.state == LineState::kPending) continue;
+    if (line.state == LineState::kInvalid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru < victim->lru) victim = &line;
+  }
+
+  AllocateResult result;
+  if (victim == nullptr) return result;  // every way pending: caller retries
+
+  if (victim->state == LineState::kModified) {
+    ++stats_.writebacks;
+    const std::uint32_t victim_addr =
+        (victim->tag * config_.num_sets() + set) * config_.line_bytes;
+    result.writeback_line = victim_addr;
+  }
+  victim->tag = tag_of(line_addr);
+  victim->state = LineState::kPending;
+  victim->lru = ++lru_clock_;
+  result.ok = true;
+  return result;
+}
+
+void Cache::fill(std::uint32_t line_addr, LineState state) {
+  const std::uint32_t set = set_index(line_addr);
+  const std::uint32_t tag = tag_of(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& line = base[w];
+    if (line.state == LineState::kPending && line.tag == tag) {
+      SYNCPAT_ASSERT(state != LineState::kInvalid && state != LineState::kPending);
+      line.state = state;
+      line.lru = ++lru_clock_;
+      return;
+    }
+  }
+  SYNCPAT_ASSERT_MSG(false, "fill() without a matching pending allocation");
+}
+
+void Cache::cancel_pending(std::uint32_t line_addr) {
+  const std::uint32_t set = set_index(line_addr);
+  const std::uint32_t tag = tag_of(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& line = base[w];
+    if (line.state == LineState::kPending && line.tag == tag) {
+      line.state = LineState::kInvalid;
+      return;
+    }
+  }
+  SYNCPAT_ASSERT_MSG(false, "cancel_pending() without a pending allocation");
+}
+
+bool Cache::complete_upgrade(std::uint32_t line_addr) {
+  Line* line = find(line_addr);
+  if (line == nullptr || line->state == LineState::kPending) return false;
+  SYNCPAT_ASSERT_MSG(line->state == LineState::kShared,
+                     "upgrade completion on a non-Shared line");
+  line->state = LineState::kModified;
+  line->lru = ++lru_clock_;
+  return true;
+}
+
+const char* write_policy_name(WritePolicy p) {
+  switch (p) {
+    case WritePolicy::kWriteBack: return "write-back";
+    case WritePolicy::kWriteThrough: return "write-through";
+  }
+  return "?";
+}
+
+bool Cache::access_write_through(std::uint32_t addr) {
+  Line* line = find(addr);
+  const bool hit = line != nullptr && line->state != LineState::kPending;
+  if (hit) line->lru = ++lru_clock_;
+  hit ? ++stats_.write_hits : ++stats_.write_misses;
+  return hit;
+}
+
+void Cache::force_modified(std::uint32_t line_addr) {
+  Line* line = find(line_addr);
+  SYNCPAT_ASSERT_MSG(line != nullptr && line->state != LineState::kPending,
+                     "force_modified on an absent line");
+  line->state = LineState::kModified;
+  line->lru = ++lru_clock_;
+}
+
+SnoopResult Cache::snoop(std::uint32_t line_addr, bool exclusive_request) {
+  SnoopResult result;
+  Line* line = find(line_addr);
+  if (line == nullptr || line->state == LineState::kPending) return result;
+  result.had_line = true;
+  result.was_dirty = line->state == LineState::kModified;
+  if (exclusive_request) {
+    line->state = LineState::kInvalid;
+    result.invalidated = true;
+    ++stats_.invalidations_received;
+  } else {
+    // Read snoop: every Illinois cache supplies; clean or dirty moves to
+    // Shared (a dirty supplier's data also updates memory — the bus layer
+    // models that transfer).
+    line->state = LineState::kShared;
+    ++stats_.supplies;
+  }
+  return result;
+}
+
+LineState Cache::state(std::uint32_t addr) const {
+  const Line* line = find(addr);
+  return line != nullptr ? line->state : LineState::kInvalid;
+}
+
+}  // namespace syncpat::cache

@@ -1,0 +1,170 @@
+// Per-processor cache with Illinois-protocol (MESI + cache-to-cache supply)
+// coherence state (paper §2.2).
+//
+// Default geometry matches the Sequent Symmetry Model B model: 64 KB, 2-way
+// set associative, 16-byte lines, write-back with write-allocate, LRU
+// replacement.  The cache is a pure state machine — all timing lives in the
+// bus/memory/simulator layers.
+//
+// Illinois specifics modeled here:
+//  * a read miss filled from memory installs Exclusive (no other cache had
+//    the line — otherwise it would have been supplied cache-to-cache);
+//  * a read miss supplied by another cache installs Shared;
+//  * any cache holding the line supplies it on a snoop read (clean or
+//    dirty); a dirty supplier simultaneously updates memory;
+//  * write hit on Exclusive is silent (-> Modified); write hit on Shared
+//    requires a bus invalidation (upgrade) before the write is done.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace syncpat::cache {
+
+enum class LineState : std::uint8_t {
+  kInvalid = 0,
+  kShared,     // clean, possibly in other caches
+  kExclusive,  // clean, only copy (Illinois "valid-exclusive")
+  kModified,   // dirty, only copy
+  kPending,    // allocated, fill in flight
+};
+
+[[nodiscard]] const char* state_name(LineState s);
+
+enum class AccessClass : std::uint8_t { kIFetch, kRead, kWrite };
+
+/// Write policy (§4.2 discusses write-through as the regime where weak
+/// ordering pays off).  Write-back is the paper's machine.
+enum class WritePolicy : std::uint8_t { kWriteBack, kWriteThrough };
+
+[[nodiscard]] const char* write_policy_name(WritePolicy p);
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 64 * 1024;
+  std::uint32_t line_bytes = 16;
+  std::uint32_t associativity = 2;
+
+  [[nodiscard]] std::uint32_t num_sets() const {
+    return size_bytes / (line_bytes * associativity);
+  }
+  [[nodiscard]] std::uint32_t line_addr(std::uint32_t addr) const {
+    return addr & ~(line_bytes - 1);
+  }
+};
+
+/// Result of a processor-side access attempt.
+struct AccessResult {
+  bool hit = false;
+  // Write hit on a Shared line: data present but an invalidation of other
+  // copies must complete before the write is performed.
+  bool needs_upgrade = false;
+};
+
+/// Result of a bus-side snoop.
+struct SnoopResult {
+  bool had_line = false;   // line was present (non-pending)
+  bool was_dirty = false;  // line was Modified (memory must be updated)
+  bool invalidated = false;
+};
+
+struct CacheStats {
+  std::uint64_t ifetch_hits = 0, ifetch_misses = 0;
+  std::uint64_t read_hits = 0, read_misses = 0;
+  std::uint64_t write_hits = 0, write_misses = 0;
+  std::uint64_t upgrades = 0;     // write hits that needed an invalidation
+  std::uint64_t writebacks = 0;   // dirty evictions
+  std::uint64_t invalidations_received = 0;
+  std::uint64_t supplies = 0;     // cache-to-cache supplies provided
+
+  [[nodiscard]] double write_hit_ratio() const {
+    const double total = static_cast<double>(write_hits + write_misses);
+    return total > 0.0 ? static_cast<double>(write_hits) / total : 0.0;
+  }
+  [[nodiscard]] double read_hit_ratio() const {
+    const double total =
+        static_cast<double>(ifetch_hits + ifetch_misses + read_hits + read_misses);
+    return total > 0.0
+               ? static_cast<double>(ifetch_hits + read_hits) / total
+               : 0.0;
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Processor-side access.  On a hit the LRU is updated and (for writes on
+  /// E/M lines) the state silently moves to Modified; a write hit on Shared
+  /// reports needs_upgrade and leaves the state unchanged until
+  /// complete_upgrade().  On a miss nothing changes (caller then allocates).
+  AccessResult access(std::uint32_t addr, AccessClass cls);
+
+  /// Reserves a way for an incoming line: evicts the LRU non-pending way
+  /// and marks the new line Pending.  Returns the dirty victim's line
+  /// address if a write-back is required, nullopt otherwise.  Fails (returns
+  /// false via `ok`) when every way in the set is Pending.
+  struct AllocateResult {
+    bool ok = false;
+    std::optional<std::uint32_t> writeback_line;
+  };
+  AllocateResult allocate(std::uint32_t line_addr);
+
+  /// Completes a fill started by allocate().
+  void fill(std::uint32_t line_addr, LineState state);
+
+  /// Abandons a Pending reservation (used if an in-flight fill is obsoleted).
+  void cancel_pending(std::uint32_t line_addr);
+
+  /// Upgrade (bus invalidation we requested) completed: Shared -> Modified.
+  /// If the line was invalidated while the upgrade was queued the caller
+  /// must instead turn the write into a full miss; returns false then.
+  bool complete_upgrade(std::uint32_t line_addr);
+
+  /// Atomic operation completed on a line we already hold (forced lock
+  /// transactions): the line becomes Modified regardless of S/E/M.
+  void force_modified(std::uint32_t line_addr);
+
+  /// Write-through store: counts the hit/miss, touches LRU, and leaves the
+  /// coherence state unchanged (the write itself goes to memory on the bus;
+  /// no line is ever dirtied and no allocation happens on a miss).
+  /// Returns true on a hit.
+  bool access_write_through(std::uint32_t addr);
+
+  /// Bus-side snoop for a transaction issued by another cache.
+  /// `exclusive_request` is true for ReadX/Upgrade (requester wants
+  /// ownership) and false for Read.
+  SnoopResult snoop(std::uint32_t line_addr, bool exclusive_request);
+
+  /// Current state of a line (kInvalid if absent).
+  [[nodiscard]] LineState state(std::uint32_t addr) const;
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Line {
+    std::uint32_t tag = 0;
+    LineState state = LineState::kInvalid;
+    std::uint64_t lru = 0;
+  };
+
+  [[nodiscard]] std::uint32_t set_index(std::uint32_t addr) const {
+    return (addr / config_.line_bytes) % config_.num_sets();
+  }
+  [[nodiscard]] std::uint32_t tag_of(std::uint32_t addr) const {
+    return addr / (config_.line_bytes * config_.num_sets());
+  }
+  [[nodiscard]] Line* find(std::uint32_t addr);
+  [[nodiscard]] const Line* find(std::uint32_t addr) const;
+
+  CacheConfig config_;
+  std::vector<Line> lines_;  // num_sets * associativity, set-major
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace syncpat::cache

@@ -1,0 +1,42 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace syncpat::core {
+
+ExperimentOutcome run_experiment(const MachineConfig& config,
+                                 const workload::BenchmarkProfile& profile,
+                                 std::uint64_t scale) {
+  const workload::BenchmarkProfile scaled = profile.scaled(scale);
+  trace::ProgramTrace program = workload::make_program_trace(scaled);
+
+  ExperimentOutcome outcome;
+  outcome.ideal = trace::analyze_program(program);
+
+  MachineConfig cfg = config;
+  cfg.num_procs = scaled.num_procs;
+  Simulator sim(cfg, program);
+  outcome.sim = sim.run();
+  return outcome;
+}
+
+trace::IdealProgramStats run_ideal(const workload::BenchmarkProfile& profile,
+                                   std::uint64_t scale) {
+  const workload::BenchmarkProfile scaled = profile.scaled(scale);
+  trace::ProgramTrace program = workload::make_program_trace(scaled);
+  return trace::analyze_program(program);
+}
+
+std::uint64_t scale_from_env(std::uint64_t fallback) {
+  if (const char* env = std::getenv("SYNCPAT_SCALE")) {
+    const long long value = std::atoll(env);
+    if (value >= 1) return static_cast<std::uint64_t>(value);
+  }
+  return fallback;
+}
+
+}  // namespace syncpat::core

@@ -1,0 +1,36 @@
+// Experiment runner: the glue the bench harness uses to regenerate the
+// paper's tables.  Runs a benchmark profile under a machine configuration,
+// returning both the ideal analysis (Tables 1/2) and the simulation result
+// (Tables 3-8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine_config.hpp"
+#include "core/results.hpp"
+#include "trace/analyzer.hpp"
+#include "workload/profile.hpp"
+
+namespace syncpat::core {
+
+struct ExperimentOutcome {
+  trace::IdealProgramStats ideal;
+  SimulationResult sim;
+};
+
+/// Runs `profile` (optionally length-scaled by `scale`) on the machine.
+[[nodiscard]] ExperimentOutcome run_experiment(const MachineConfig& config,
+                                               const workload::BenchmarkProfile& profile,
+                                               std::uint64_t scale = 1);
+
+/// Ideal analysis only (no simulation) — Tables 1 and 2.
+[[nodiscard]] trace::IdealProgramStats run_ideal(
+    const workload::BenchmarkProfile& profile, std::uint64_t scale = 1);
+
+/// Reads the trace-length scale from the SYNCPAT_SCALE environment variable;
+/// defaults to `fallback` (benches use 8 so the full suite runs in seconds;
+/// SYNCPAT_SCALE=1 reproduces paper-scale trace lengths).
+[[nodiscard]] std::uint64_t scale_from_env(std::uint64_t fallback);
+
+}  // namespace syncpat::core

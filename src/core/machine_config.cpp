@@ -1,0 +1,32 @@
+#include "core/machine_config.hpp"
+
+#include <sstream>
+
+namespace syncpat::core {
+
+std::string MachineConfig::describe() const {
+  std::ostringstream out;
+  out << "Shared-bus multiprocessor (paper Figure 1)\n"
+      << "  processors          : " << num_procs << "\n"
+      << "  cache               : " << cache.size_bytes / 1024 << " KB, "
+      << cache.associativity << "-way set associative, " << cache.line_bytes
+      << "-byte lines, " << cache::write_policy_name(write_policy)
+      << ", LRU\n"
+      << "  coherence           : Illinois (MESI + cache-to-cache transfer)\n"
+      << "  cache-bus buffer    : " << cache_bus_buffer_depth << " entries"
+      << " (dirty lines snoop-visible)\n"
+      << "  bus                 : " << bus_bytes * 8
+      << "-bit split-transaction, round-robin arbitration\n"
+      << "  memory              : " << memory.access_cycles << "-cycle access, "
+      << memory.input_depth << "-deep input / " << memory.output_depth
+      << "-deep output buffers\n"
+      << "  uncontended miss    : 1 (request) + " << memory.access_cycles
+      << " (memory) + " << line_transfer_cycles()
+      << " (line over bus) = "
+      << 1 + memory.access_cycles + line_transfer_cycles() << " stall cycles\n"
+      << "  consistency model   : " << bus::consistency_name(consistency) << "\n"
+      << "  lock scheme         : " << sync::scheme_kind_name(lock_scheme) << "\n";
+  return out.str();
+}
+
+}  // namespace syncpat::core

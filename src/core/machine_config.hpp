@@ -1,0 +1,45 @@
+// Machine configuration: Figure 1 of the paper as a data structure.
+//
+// Defaults model the Sequent Symmetry Model B as simulated in §2.2:
+// per-processor 64 KB 2-way write-back caches with 16-byte lines and
+// Illinois coherence, a 64-bit split-transaction bus with round-robin
+// arbitration, a 3-cycle memory with 2-deep input/output buffers, and a
+// 4-deep cache-bus buffer per processor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bus/interface.hpp"
+#include "cache/cache.hpp"
+#include "mem/memory.hpp"
+#include "sync/scheme_factory.hpp"
+
+namespace syncpat::core {
+
+struct MachineConfig {
+  std::uint32_t num_procs = 12;
+
+  cache::CacheConfig cache;          // 64 KB, 2-way, 16-byte lines
+  cache::WritePolicy write_policy = cache::WritePolicy::kWriteBack;
+  std::uint32_t bus_bytes = 8;       // 64-bit data path
+  std::uint32_t cache_bus_buffer_depth = 4;
+  mem::MemoryConfig memory;          // 3 cycles, 2-deep in/out buffers
+
+  bus::ConsistencyModel consistency = bus::ConsistencyModel::kSequential;
+  sync::SchemeKind lock_scheme = sync::SchemeKind::kQueuing;
+
+  /// Hard simulation bound; exceeded means a deadlock or runaway workload.
+  std::uint64_t max_cycles = 4'000'000'000ULL;
+
+  /// Bus cycles to move one line: line_bytes / bus_bytes.
+  [[nodiscard]] std::uint32_t line_transfer_cycles() const {
+    return (cache.line_bytes + bus_bytes - 1) / bus_bytes;
+  }
+
+  /// Multi-line description in the spirit of Figure 1 (used by the
+  /// bench_figure1_architecture target).
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace syncpat::core

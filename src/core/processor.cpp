@@ -1,0 +1,339 @@
+#include "core/processor.hpp"
+
+#include "core/simulator.hpp"
+#include "trace/address_map.hpp"
+#include "util/assert.hpp"
+
+namespace syncpat::core {
+
+using bus::StallCause;
+using bus::Transaction;
+using bus::TxnKind;
+using cache::AccessClass;
+using trace::Event;
+using trace::Op;
+
+Processor::Processor(std::uint32_t id, trace::TraceSource& source,
+                     cache::Cache& cache, bus::BusInterface& iface, Simulator& sim)
+    : id_(id), source_(source), cache_(cache), iface_(iface), sim_(sim) {
+  has_cur_ = source_.next(cur_);
+  if (has_cur_) {
+    gap_left_ = cur_.gap;
+  } else {
+    state_ = ProcState::kDone;
+    stats_.completion_cycle = 0;
+  }
+}
+
+bool Processor::drain_pending() {
+  while (!pending_.empty()) {
+    if (!iface_.enqueue(pending_.front())) return false;
+    pending_.pop_front();
+  }
+  return true;
+}
+
+void Processor::count_stall_cycle() {
+  switch (state_) {
+    case ProcState::kWaitMem:
+      if (wait_cause_ == StallCause::kLockWait) {
+        ++stats_.stall_lock;
+      } else {
+        ++stats_.stall_cache;
+      }
+      break;
+    case ProcState::kWaitLock:
+    case ProcState::kSpin:
+      ++stats_.stall_lock;
+      break;
+    case ProcState::kWaitFence:
+      ++stats_.stall_fence;
+      break;
+    case ProcState::kStallStructural:
+      ++stats_.stall_cache;
+      break;
+    default:
+      break;
+  }
+}
+
+void Processor::tick() {
+  if (state_ == ProcState::kDone) {
+    drain_pending();  // trailing buffered writes still drain to the bus
+    return;
+  }
+  drain_pending();
+
+  switch (state_) {
+    case ProcState::kRunning:
+      if (gap_left_ > 0) {
+        ++stats_.work_cycles;
+        --gap_left_;
+        if (gap_left_ > 0) return;
+        issue_loop();
+        return;
+      }
+      // Resume/retry cycle (a wake-up re-issuing the current reference or a
+      // zero-gap event after a miss): no work executes this cycle, so it is
+      // accounted as a stall — every live cycle is work or stall.
+      ++stats_.stall_cache;
+      issue_loop();
+      return;
+    case ProcState::kStallStructural:
+      count_stall_cycle();
+      if (drain_pending()) {
+        state_ = ProcState::kRunning;
+        issue_loop();
+        // A failed retry (e.g., cache set still fully pending) returns to
+        // kStallStructural inside issue_loop; the stall was already counted.
+      }
+      return;
+    case ProcState::kWaitFence:
+      count_stall_cycle();  // the drain's last cycle is still fence time
+      if (!fence_pending()) {
+        state_ = ProcState::kRunning;
+        issue_loop();  // re-issues the pending lock event
+      }
+      return;
+    case ProcState::kWaitMem:
+    case ProcState::kWaitLock:
+    case ProcState::kSpin:
+      count_stall_cycle();
+      return;
+    case ProcState::kDone:
+      return;
+  }
+}
+
+bool Processor::fence_pending() const {
+  return !iface_.empty() || !pending_.empty() ||
+         sim_.outstanding_fence(id_) > 0;
+}
+
+void Processor::issue_loop() {
+  while (state_ == ProcState::kRunning) {
+    SYNCPAT_ASSERT(gap_left_ == 0);
+    if (!drain_pending()) {
+      state_ = ProcState::kStallStructural;
+      return;
+    }
+    if (!has_cur_) {
+      state_ = ProcState::kDone;
+      stats_.completion_cycle = sim_.now();
+      return;
+    }
+    const Event e = cur_;
+    const IssueResult r = try_issue(e);
+    if (r == IssueResult::kStalled) return;
+    if (r == IssueResult::kAdvance) advance_after_event();
+    // kSelfManaged: the lock scheme advanced us (or changed state, ending
+    // the loop via the while condition).
+    if (state_ == ProcState::kRunning && gap_left_ > 0) return;
+  }
+}
+
+void Processor::advance_after_event() {
+  has_cur_ = source_.next(cur_);
+  if (!has_cur_) {
+    state_ = ProcState::kDone;
+    stats_.completion_cycle = sim_.now();
+    gap_left_ = 0;
+    return;
+  }
+  gap_left_ = cur_.gap;
+}
+
+Processor::IssueResult Processor::try_issue(const Event& e) {
+  if (trace::is_sync_op(e.op)) return issue_lock_op(e);
+  return issue_mem_ref(e);
+}
+
+Processor::IssueResult Processor::issue_lock_op(const Event& e) {
+  // A fenced sync re-issues after the drain; count it once.
+  if (!resuming_sync_) ++stats_.syncs;
+  if (iface_.model() == bus::ConsistencyModel::kWeak && fence_pending()) {
+    if (!resuming_sync_) ++stats_.syncs_with_pending;
+    resuming_sync_ = true;
+    state_ = ProcState::kWaitFence;
+    return IssueResult::kStalled;
+  }
+  resuming_sync_ = false;
+  const std::uint32_t lock_line = cache_.config().line_addr(e.addr);
+  switch (e.op) {
+    case Op::kLockAcq:
+      sim_.scheme().begin_acquire(id_, lock_line);
+      break;
+    case Op::kLockRel:
+      sim_.scheme().begin_release(id_, lock_line);
+      break;
+    case Op::kBarrier:
+      sim_.barrier_arrive(id_, lock_line);
+      break;
+    default:
+      SYNCPAT_ASSERT(false);
+  }
+  return IssueResult::kSelfManaged;
+}
+
+Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
+  const std::uint32_t line = cache_.config().line_addr(e.addr);
+  const AccessClass cls = e.op == Op::kIFetch  ? AccessClass::kIFetch
+                          : e.op == Op::kLoad ? AccessClass::kRead
+                                              : AccessClass::kWrite;
+
+  // A line with a fill already in flight: merge or wait.
+  if (cache_.state(e.addr) == cache::LineState::kPending) {
+    Transaction* inflight = sim_.find_proc_txn(id_, line);
+    SYNCPAT_ASSERT_MSG(inflight != nullptr,
+                       "pending line without an in-flight transaction");
+    if (cls == AccessClass::kWrite && inflight->kind == TxnKind::kReadX) {
+      ++stats_.merged_writes;  // store coalesces into the ownership fill
+      return IssueResult::kAdvance;
+    }
+    inflight->requester_waiting = true;
+    wait_txn_ = inflight;
+    wait_mode_ = WaitMode::kRefRetry;
+    wait_cause_ = StallCause::kCacheMiss;
+    state_ = ProcState::kWaitMem;
+    return IssueResult::kStalled;
+  }
+
+  const bool weak = iface_.model() == bus::ConsistencyModel::kWeak;
+
+  // Write-through cache: every store is a one-word memory write on the bus;
+  // no line is dirtied and a miss allocates nothing (no-write-allocate).
+  if (cls == AccessClass::kWrite &&
+      sim_.config().write_policy == cache::WritePolicy::kWriteThrough) {
+    cache_.access_write_through(e.addr);
+    if (Transaction* existing = sim_.find_proc_txn(id_, line);
+        existing != nullptr && existing->kind == TxnKind::kWriteThrough) {
+      // The previous store to this line is still queued; the words coalesce
+      // in the buffer entry (a common write-buffer optimization).
+      ++stats_.merged_writes;
+      return IssueResult::kAdvance;
+    }
+    Transaction* txn =
+        sim_.make_txn(TxnKind::kWriteThrough, line,
+                      static_cast<std::int32_t>(id_),
+                      weak ? StallCause::kNone : StallCause::kCacheMiss,
+                      /*fills_line=*/false);
+    pending_.push_back(txn);
+    if (!weak) {
+      txn->requester_waiting = true;
+      wait_txn_ = txn;
+      wait_mode_ = WaitMode::kRefSatisfied;
+      wait_cause_ = StallCause::kCacheMiss;
+      state_ = ProcState::kWaitMem;
+      return IssueResult::kStalled;
+    }
+    return IssueResult::kAdvance;
+  }
+
+  const cache::AccessResult res = cache_.access(e.addr, cls);
+
+  if (res.hit && !res.needs_upgrade) return IssueResult::kAdvance;
+
+  if (res.needs_upgrade) {
+    // Write hit on Shared: the invalidation must perform first.
+    if (Transaction* existing = sim_.find_proc_txn(id_, line);
+        existing != nullptr && existing->is_exclusive_request()) {
+      return IssueResult::kAdvance;  // piggyback on the queued upgrade (WO)
+    }
+    Transaction* txn =
+        sim_.make_txn(TxnKind::kUpgrade, line, static_cast<std::int32_t>(id_),
+                      StallCause::kCacheMiss, /*fills_line=*/false);
+    pending_.push_back(txn);
+    if (!weak) {
+      txn->requester_waiting = true;
+      wait_txn_ = txn;
+      wait_mode_ = WaitMode::kRefSatisfied;
+      wait_cause_ = StallCause::kCacheMiss;
+      state_ = ProcState::kWaitMem;
+      return IssueResult::kStalled;
+    }
+    return IssueResult::kAdvance;
+  }
+
+  // Miss: reserve a way up front so the fill always has a home, issuing the
+  // victim's write-back first.
+  const cache::Cache::AllocateResult alloc = cache_.allocate(line);
+  if (!alloc.ok) {
+    // Every way in the set is awaiting a fill; retry next cycle.
+    state_ = ProcState::kStallStructural;
+    return IssueResult::kStalled;
+  }
+  if (alloc.writeback_line.has_value()) {
+    Transaction* wb =
+        sim_.make_txn(TxnKind::kWriteBack, *alloc.writeback_line,
+                      static_cast<std::int32_t>(id_), StallCause::kNone,
+                      /*fills_line=*/false);
+    pending_.push_back(wb);
+  }
+
+  const bool is_write = cls == AccessClass::kWrite;
+  const bool stalls = !weak || !is_write;
+  Transaction* txn = sim_.make_txn(
+      is_write ? TxnKind::kReadX : TxnKind::kRead, line,
+      static_cast<std::int32_t>(id_),
+      stalls ? StallCause::kCacheMiss : StallCause::kNone, /*fills_line=*/true);
+  pending_.push_back(txn);
+  if (stalls) {
+    txn->requester_waiting = true;
+    wait_txn_ = txn;
+    wait_mode_ = WaitMode::kRefSatisfied;
+    wait_cause_ = StallCause::kCacheMiss;
+    state_ = ProcState::kWaitMem;
+    return IssueResult::kStalled;
+  }
+  return IssueResult::kAdvance;
+}
+
+void Processor::on_txn_complete(Transaction* txn) {
+  SYNCPAT_ASSERT(state_ == ProcState::kWaitMem && txn == wait_txn_);
+  wait_txn_ = nullptr;
+  state_ = ProcState::kRunning;
+  switch (wait_mode_) {
+    case WaitMode::kRefSatisfied:
+      advance_after_event();
+      break;
+    case WaitMode::kRefRetry:
+      // gap_left_ is already 0: the next tick re-runs issue_loop on the
+      // same event.
+      break;
+    case WaitMode::kLockStep:
+      sim_.lock_step_complete(id_, txn->line_addr, txn->lock_step);
+      break;
+  }
+}
+
+void Processor::replace_wait_txn(Transaction* from, Transaction* to) {
+  if (wait_txn_ == from) wait_txn_ = to;
+}
+
+void Processor::stall_on_txn(Transaction* txn) {
+  SYNCPAT_ASSERT(state_ == ProcState::kRunning || state_ == ProcState::kSpin ||
+                 state_ == ProcState::kWaitLock ||
+                 state_ == ProcState::kWaitMem);
+  wait_txn_ = txn;
+  wait_mode_ = WaitMode::kLockStep;
+  wait_cause_ = txn->stall_cause;
+  state_ = ProcState::kWaitMem;
+}
+
+void Processor::enter_lock_wait(bool spinning) {
+  state_ = spinning ? ProcState::kSpin : ProcState::kWaitLock;
+}
+
+void Processor::lock_acquired() {
+  state_ = ProcState::kRunning;
+  wait_txn_ = nullptr;
+  advance_after_event();
+}
+
+void Processor::lock_release_done() {
+  state_ = ProcState::kRunning;
+  wait_txn_ = nullptr;
+  advance_after_event();
+}
+
+}  // namespace syncpat::core

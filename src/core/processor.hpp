@@ -1,0 +1,146 @@
+// Processor model (paper §2.1-§2.2).
+//
+// A processor replays its trace: each event costs `gap` work cycles of
+// execution (the MPTrace per-instruction cycle counts) and then issues its
+// reference.  Cache hits cost nothing extra; misses create bus transactions
+// and stall the processor according to the consistency model:
+//
+//   * sequential consistency: every miss — read, write, or upgrade — stalls
+//     until the access performs;
+//   * weak ordering: only read (load/ifetch) misses stall; writes, upgrades
+//     and write-backs are buffered (the cache-bus buffer applies the read-
+//     bypass placement), and a full buffer is the only thing that makes a
+//     write stall.  At every lock/unlock the processor first drains its
+//     buffer and outstanding accesses (the fence of weak ordering rules 2-3).
+//
+// Lock events are handed to the LockScheme, which drives this processor via
+// stall_on_txn()/enter_lock_wait()/lock_acquired()/lock_release_done().
+//
+// Stall cycles are attributed per cycle to "cache miss" or "lock wait"
+// exactly as the paper's Tables 3/5 split them: waiting for a lock held by
+// another processor is lock wait; a lock operation's own uncontended memory
+// access is an ordinary cache-miss stall.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "bus/interface.hpp"
+#include "bus/transaction.hpp"
+#include "cache/cache.hpp"
+#include "trace/source.hpp"
+
+namespace syncpat::core {
+
+class Simulator;
+
+enum class ProcState : std::uint8_t {
+  kRunning,          // executing work cycles / issuing references
+  kStallStructural,  // cache set or buffer momentarily unavailable; retrying
+  kWaitMem,          // stalled on a transaction
+  kWaitLock,         // passively waiting for a lock (queuing)
+  kSpin,             // spinning on a cached lock line (T&T&S / ticket)
+  kWaitFence,        // weak ordering: draining at a sync point
+  kDone,
+};
+
+struct ProcStats {
+  std::uint64_t work_cycles = 0;
+  std::uint64_t stall_cache = 0;
+  std::uint64_t stall_lock = 0;
+  std::uint64_t stall_fence = 0;
+  std::uint64_t completion_cycle = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t syncs_with_pending = 0;  // fence found unfinished accesses
+  std::uint64_t merged_writes = 0;       // stores coalesced into in-flight fills
+
+  [[nodiscard]] std::uint64_t total_stalls() const {
+    return stall_cache + stall_lock + stall_fence;
+  }
+  [[nodiscard]] double utilization() const {
+    const std::uint64_t total = completion_cycle;
+    return total > 0 ? static_cast<double>(work_cycles) /
+                           static_cast<double>(total)
+                     : 1.0;
+  }
+};
+
+class Processor {
+ public:
+  Processor(std::uint32_t id, trace::TraceSource& source, cache::Cache& cache,
+            bus::BusInterface& iface, Simulator& sim);
+
+  void tick();
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] bool done() const { return state_ == ProcState::kDone; }
+  [[nodiscard]] ProcState state() const { return state_; }
+  [[nodiscard]] const ProcStats& stats() const { return stats_; }
+
+  // --- simulator/scheme entry points -------------------------------------
+
+  /// Queues a transaction for this processor's cache-bus buffer.
+  void push_pending(bus::Transaction* txn) { pending_.push_back(txn); }
+  /// As push_pending but ahead of other not-yet-buffered transactions
+  /// (conversion re-issues that must keep their program-order slot).
+  void push_pending_front(bus::Transaction* txn) { pending_.push_front(txn); }
+
+  /// The transaction this processor stalls on completed.
+  void on_txn_complete(bus::Transaction* txn);
+
+  /// Swap the stalled-on transaction (upgrade converted to a read-exclusive).
+  void replace_wait_txn(bus::Transaction* from, bus::Transaction* to);
+
+  /// Lock scheme: stall until `txn` completes (on_txn_complete will forward
+  /// to the scheme).
+  void stall_on_txn(bus::Transaction* txn);
+  /// Lock scheme: wait for the lock (spinning or passively).
+  void enter_lock_wait(bool spinning);
+  /// Lock scheme: the acquire (or release) finished; resume the trace.
+  void lock_acquired();
+  void lock_release_done();
+
+  [[nodiscard]] bool fence_pending() const;
+
+ private:
+  enum class WaitMode : std::uint8_t {
+    kRefSatisfied,  // completion satisfies the current event; advance
+    kRefRetry,      // completion requires re-executing the current event
+    kLockStep,      // forward completion to the lock scheme
+  };
+  enum class IssueResult : std::uint8_t {
+    kAdvance,      // event done; move to the next one
+    kStalled,      // state changed; stop issuing
+    kSelfManaged,  // lock op: the scheme advanced or stalled us already
+  };
+
+  void issue_loop();
+  IssueResult try_issue(const trace::Event& e);
+  IssueResult issue_mem_ref(const trace::Event& e);
+  IssueResult issue_lock_op(const trace::Event& e);
+  void advance_after_event();
+  /// Moves pending transactions into the interface buffer; true when empty.
+  bool drain_pending();
+  void count_stall_cycle();
+
+  std::uint32_t id_;
+  trace::TraceSource& source_;
+  cache::Cache& cache_;
+  bus::BusInterface& iface_;
+  Simulator& sim_;
+
+  ProcState state_ = ProcState::kRunning;
+  trace::Event cur_{};
+  bool has_cur_ = false;
+  std::uint32_t gap_left_ = 0;
+
+  bool resuming_sync_ = false;  // re-issuing a lock event after its fence
+  std::deque<bus::Transaction*> pending_;
+  bus::Transaction* wait_txn_ = nullptr;
+  WaitMode wait_mode_ = WaitMode::kRefSatisfied;
+  bus::StallCause wait_cause_ = bus::StallCause::kCacheMiss;
+
+  ProcStats stats_;
+};
+
+}  // namespace syncpat::core

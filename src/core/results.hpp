@@ -1,0 +1,90 @@
+// Simulation results: every quantity the paper's Tables 3-8 report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sync/lock_stats.hpp"
+#include "util/running_stat.hpp"
+
+namespace syncpat::core {
+
+/// Bus transaction mix (what §3.2's bus-utilization analysis decomposes).
+struct BusTraffic {
+  std::uint64_t reads = 0;         // line fetches for reading
+  std::uint64_t readx = 0;         // ownership fetches (incl. atomics)
+  std::uint64_t upgrades = 0;      // pure invalidations
+  std::uint64_t writebacks = 0;    // dirty evictions
+  std::uint64_t handoffs = 0;      // queuing-lock transfers
+  std::uint64_t write_throughs = 0;  // one-word stores (WT caches)
+  std::uint64_t c2c_supplies = 0;  // fetches served cache-to-cache
+  std::uint64_t memory_reads = 0;  // fetches served by memory
+  std::uint64_t lock_ops = 0;      // transactions issued by lock schemes
+
+  [[nodiscard]] std::uint64_t total() const {
+    return reads + readx + upgrades + writebacks + handoffs +
+           write_throughs;
+  }
+};
+
+struct ProcResult {
+  std::uint64_t work_cycles = 0;
+  std::uint64_t stall_cache = 0;
+  std::uint64_t stall_lock = 0;
+  std::uint64_t stall_fence = 0;
+  std::uint64_t completion_cycle = 0;
+  double utilization = 0.0;
+
+  [[nodiscard]] std::uint64_t total_stalls() const {
+    return stall_cache + stall_lock + stall_fence;
+  }
+};
+
+struct SimulationResult {
+  std::string program;
+  std::string scheme;
+  std::string consistency;
+  std::uint32_t num_procs = 0;
+
+  std::uint64_t run_time = 0;       // cycle the last processor finished
+  double avg_utilization = 0.0;     // mean of per-processor utilizations
+
+  // Stall-cause split (Tables 3/5): percent of stall cycles.  Fence stalls
+  // (weak ordering drains) are folded into the cache-miss share, matching
+  // the paper's two-way split.
+  double stall_cache_pct = 0.0;
+  double stall_lock_pct = 0.0;
+
+  sync::LockAggregate locks;
+
+  double bus_utilization = 0.0;
+  BusTraffic traffic;
+  double write_hit_ratio = 0.0;
+  double read_hit_ratio = 0.0;
+
+  // Weak-ordering diagnostics (§4.2): how often a sync found unfinished
+  // buffered/outstanding accesses, and how many reads bypassed writes.
+  std::uint64_t syncs = 0;
+  std::uint64_t syncs_with_pending = 0;
+  std::uint64_t read_bypasses = 0;
+
+  // Barrier synchronization (the paper's §3.1 aside: a barrier's average
+  // waiter count is less than half the processors).
+  std::uint64_t barriers_completed = 0;
+  util::RunningStat barrier_wait_cycles;
+  util::RunningStat barrier_waiters_at_arrival;
+
+  std::vector<ProcResult> per_proc;
+
+  /// Percent run-time change versus a baseline (Table 7 "Difference").
+  [[nodiscard]] double runtime_change_pct(const SimulationResult& baseline) const {
+    if (baseline.run_time == 0) return 0.0;
+    return 100.0 *
+           (static_cast<double>(baseline.run_time) -
+            static_cast<double>(run_time)) /
+           static_cast<double>(baseline.run_time);
+  }
+};
+
+}  // namespace syncpat::core

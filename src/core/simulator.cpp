@@ -1,0 +1,606 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace syncpat::core {
+
+using bus::StallCause;
+using bus::Transaction;
+using bus::TxnKind;
+using bus::TxnPhase;
+
+Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
+    : cfg_(config),
+      program_name_(program.name),
+      bus_(bus::BusConfig{
+          .ports = static_cast<std::uint32_t>(program.num_procs()) + 1,
+          .request_cycles = 1,
+          .data_cycles = config.line_transfer_cycles()}),
+      memory_(config.memory) {
+  SYNCPAT_ASSERT(program.num_procs() > 0);
+  program.reset_all();
+  const auto nprocs = static_cast<std::uint32_t>(program.num_procs());
+  spin_line_.assign(nprocs, 0);
+  outstanding_fence_.assign(nprocs, 0);
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    caches_.push_back(std::make_unique<cache::Cache>(cfg_.cache));
+    ifaces_.push_back(std::make_unique<bus::BusInterface>(
+        p, cfg_.cache_bus_buffer_depth, cfg_.consistency));
+  }
+  scheme_ = sync::make_scheme(cfg_.lock_scheme, *this, lock_stats_,
+                              cfg_.cache.line_bytes);
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    procs_.push_back(std::make_unique<Processor>(
+        p, *program.per_proc[p], *caches_[p], *ifaces_[p], *this));
+  }
+}
+
+Simulator::~Simulator() = default;
+
+bool Simulator::all_done() const {
+  return std::all_of(procs_.begin(), procs_.end(),
+                     [](const auto& p) { return p->done(); });
+}
+
+SimulationResult Simulator::run() {
+  while (!all_done()) {
+    step();
+  }
+  return collect_results();
+}
+
+void Simulator::step() {
+  ++cycle_;
+  SYNCPAT_ASSERT_MSG(cycle_ <= cfg_.max_cycles,
+                     "simulation exceeded max_cycles (runaway or deadlock)");
+
+  // 1. Fills that were waiting for a cache way.
+  if (!fill_retry_.empty()) {
+    std::vector<Transaction*> still_waiting;
+    for (Transaction* txn : fill_retry_) {
+      if (fill_own(txn)) {
+        finalize(txn);
+      } else {
+        still_waiting.push_back(txn);
+      }
+    }
+    fill_retry_ = std::move(still_waiting);
+  }
+
+  // 2. Memory.
+  memory_.tick();
+  if (Transaction* response = memory_.pending_response();
+      response != nullptr && response->issued_cycle == 0) {
+    // Stamp fresh output entries so they are not granted this same cycle
+    // (the data is driven onto the bus the cycle after it leaves the
+    // module, preserving the paper's 6-cycle uncontended miss).
+    response->issued_cycle = cycle_;
+  }
+  for (Transaction* absorbed : memory_.drain_absorbed()) {
+    if (absorbed->requester_waiting ||
+        (absorbed->requester >= 0 && !absorbed->is_lock_op &&
+         absorbed->kind == TxnKind::kWriteThrough)) {
+      finalize(absorbed);  // wakes the stalled processor, fence-decrements
+    } else {
+      retire(absorbed);
+    }
+  }
+
+  // 2b. Backoff timers.
+  if (!timers_.empty()) {
+    std::vector<Timer> due;
+    std::erase_if(timers_, [&](const Timer& t) {
+      if (t.fire_cycle > cycle_) return false;
+      due.push_back(t);
+      return true;
+    });
+    for (const Timer& t : due) scheme_->on_timer(t.proc, t.line_addr);
+  }
+
+  // 3. Processors.
+  for (auto& proc : procs_) proc->tick();
+
+  // 4-5. Bus.
+  arbitrate();
+  if (Transaction* done = bus_.tick()) complete_bus(done);
+
+  check_progress();
+}
+
+void Simulator::check_progress() {
+  std::uint64_t marker = next_txn_id_;
+  for (const auto& p : procs_) {
+    marker += p->stats().work_cycles + p->stats().completion_cycle;
+  }
+  marker += lock_stats_.total().acquisitions;
+  if (marker != progress_marker_) {
+    progress_marker_ = marker;
+    last_progress_cycle_ = cycle_;
+  }
+  if (cycle_ - last_progress_cycle_ >= 500'000) {
+    std::fprintf(stderr, "deadlock diagnostic at cycle %llu:\n",
+                 static_cast<unsigned long long>(cycle_));
+    for (const auto& p : procs_) {
+      std::fprintf(stderr,
+                   "  proc %u state=%d work=%llu lockstall=%llu done=%d\n",
+                   p->id(), static_cast<int>(p->state()),
+                   static_cast<unsigned long long>(p->stats().work_cycles),
+                   static_cast<unsigned long long>(p->stats().stall_lock),
+                   p->done() ? 1 : 0);
+    }
+    std::fprintf(stderr, "  active txns=%zu line_inflight=%zu timers=%zu\n",
+                 active_.size(), line_inflight_.size(), timers_.size());
+    for (const auto& [line, b] : barriers_) {
+      std::fprintf(stderr, "  barrier 0x%08x waiting=%zu\n", line,
+                   b.waiting.size());
+    }
+    SYNCPAT_ASSERT_MSG(false, "no simulation progress for 500k cycles");
+  }
+}
+
+// --------------------------------------------------------------------------
+// Transactions
+
+Transaction* Simulator::make_txn(TxnKind kind, std::uint32_t line_addr,
+                                 std::int32_t requester, StallCause cause,
+                                 bool fills_line, bool lock_op) {
+  auto owned = std::make_unique<Transaction>();
+  Transaction* txn = owned.get();
+  txn->id = next_txn_id_++;
+  txn->kind = kind;
+  txn->line_addr = line_addr;
+  txn->requester = requester;
+  txn->stall_cause = cause;
+  txn->fills_line = fills_line;
+  txn->is_lock_op = lock_op;
+  txn->issued_cycle = cycle_;
+  active_.emplace(txn->id, std::move(owned));
+
+  const bool counts_for_fence = !txn->is_lock_op && kind != TxnKind::kWriteBack &&
+                                kind != TxnKind::kHandoff;
+  if (requester >= 0 && counts_for_fence) {
+    ++outstanding_fence_[static_cast<std::uint32_t>(requester)];
+  }
+  return txn;
+}
+
+Transaction* Simulator::find_proc_txn(std::uint32_t proc,
+                                      std::uint32_t line_addr) const {
+  for (const auto& [id, txn] : active_) {
+    if (txn->requester == static_cast<std::int32_t>(proc) &&
+        txn->line_addr == line_addr && txn->phase != TxnPhase::kDone &&
+        txn->kind != TxnKind::kWriteBack && txn->kind != TxnKind::kHandoff) {
+      return txn.get();
+    }
+  }
+  return nullptr;
+}
+
+void Simulator::retire(Transaction* txn) {
+  const auto it = active_.find(txn->id);
+  SYNCPAT_ASSERT(it != active_.end());
+  active_.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// Arbitration and snooping
+
+void Simulator::arbitrate() {
+  if (!bus_.free()) return;
+  const std::uint32_t ports = static_cast<std::uint32_t>(procs_.size()) + 1;
+  for (std::uint32_t offset = 0; offset < ports; ++offset) {
+    const std::uint32_t port = bus_.rr_port(offset);
+    if (port == ports - 1) {
+      Transaction* response = memory_.pending_response();
+      if (response == nullptr || response->issued_cycle == cycle_) continue;
+      memory_.pop_response();
+      response->phase = TxnPhase::kOnBusResp;
+      bus_.granted(port);
+      bus_.occupy(response, bus_.config().data_cycles);
+      return;
+    }
+    if (try_grant(port)) return;
+  }
+}
+
+bool Simulator::try_grant(std::uint32_t port) {
+  Transaction* txn = ifaces_[port]->head();
+  if (txn == nullptr) return false;
+  if (txn->issued_cycle == cycle_) return false;
+  if (line_inflight_.contains(txn->line_addr)) return false;
+
+  // An upgrade whose line was invalidated while queued becomes a full
+  // ownership miss (the write turned into a write miss, §4.1).
+  TxnKind effective = txn->kind;
+  if (txn->kind == TxnKind::kUpgrade) {
+    const cache::LineState st = caches_[port]->state(txn->line_addr);
+    // Shared: a plain invalidation suffices.  Invalid (snooped away while
+    // queued) or Pending (a later miss of ours is refetching the line): the
+    // write has become a write miss (§4.1) — promote to ReadX.
+    if (st != cache::LineState::kShared) effective = TxnKind::kReadX;
+  }
+  const bool may_need_memory = effective == TxnKind::kRead ||
+                               effective == TxnKind::kReadX ||
+                               effective == TxnKind::kWriteBack ||
+                               effective == TxnKind::kWriteThrough;
+  if (may_need_memory && memory_.input_full()) return false;
+
+  // Granted.
+  ifaces_[port]->pop_head();
+  txn->kind = effective;
+  txn->granted_cycle = cycle_;
+  txn->phase = TxnPhase::kOnBusReq;
+  bus_.granted(port);
+  line_inflight_.emplace(txn->line_addr, txn);
+
+  std::uint32_t occupancy = bus_.config().request_cycles;
+  switch (txn->kind) {
+    case TxnKind::kUpgrade:
+      snoop_others(txn);
+      break;
+    case TxnKind::kWriteBack:
+      occupancy += bus_.config().data_cycles;
+      break;
+    case TxnKind::kWriteThrough:
+      // One word to memory (a single data cycle) + the invalidation snoop.
+      occupancy += 1;
+      snoop_others(txn);
+      break;
+    case TxnKind::kHandoff:
+      occupancy += bus_.config().data_cycles;
+      scheme_->on_handoff_granted(txn->line_addr);
+      break;
+    case TxnKind::kRead:
+    case TxnKind::kReadX: {
+      const cache::LineState own = caches_[port]->state(txn->line_addr);
+      const bool data_needed = own == cache::LineState::kInvalid ||
+                               own == cache::LineState::kPending;
+      // If another of our transactions re-fetched the line meanwhile, this
+      // one degenerates to an ownership/read broadcast.
+      txn->fills_line = data_needed;
+      snoop_others(txn);
+      if (!data_needed) {
+        // Forced atomic on a line we hold: pure ownership broadcast.
+        txn->supplied_by_cache = false;
+      } else if (txn->supplied_by_cache) {
+        occupancy += bus_.config().data_cycles;  // cache-to-cache transfer
+      }
+      // Otherwise: request phase only; memory supplies via split transaction.
+      break;
+    }
+  }
+  bus_.occupy(txn, occupancy);
+
+  switch (txn->kind) {
+    case TxnKind::kRead: ++traffic_.reads; break;
+    case TxnKind::kReadX: ++traffic_.readx; break;
+    case TxnKind::kUpgrade: ++traffic_.upgrades; break;
+    case TxnKind::kWriteBack: ++traffic_.writebacks; break;
+    case TxnKind::kHandoff: ++traffic_.handoffs; break;
+    case TxnKind::kWriteThrough: ++traffic_.write_throughs; break;
+  }
+  if (txn->is_lock_op) ++traffic_.lock_ops;
+  if (txn->kind == TxnKind::kRead || txn->kind == TxnKind::kReadX) {
+    if (txn->fills_line) {
+      txn->supplied_by_cache ? ++traffic_.c2c_supplies
+                             : ++traffic_.memory_reads;
+    }
+  }
+  return true;
+}
+
+void Simulator::snoop_others(Transaction* txn) {
+  const bool exclusive = txn->is_exclusive_request();
+  for (std::uint32_t q = 0; q < procs_.size(); ++q) {
+    if (static_cast<std::int32_t>(q) == txn->requester) continue;
+    const cache::SnoopResult res = caches_[q]->snoop(txn->line_addr, exclusive);
+    if (res.had_line) {
+      txn->supplied_by_cache = true;
+      if (res.was_dirty) txn->dirty_supplier = true;
+    }
+    if (res.invalidated) notify_invalidation(q, txn->line_addr);
+    // Dirty lines waiting in a cache-bus buffer are snoop-visible (§2.2):
+    // the buffered write-back is cancelled and the data supplied directly.
+    if (Transaction* wb = ifaces_[q]->snoop_writeback(txn->line_addr)) {
+      txn->supplied_by_cache = true;
+      txn->dirty_supplier = true;
+      retire(wb);
+    }
+  }
+}
+
+void Simulator::notify_invalidation(std::uint32_t proc, std::uint32_t line_addr) {
+  if (spin_line_[proc] == line_addr && line_addr != 0) {
+    spin_line_[proc] = 0;
+    scheme_->on_spin_invalidated(proc, line_addr);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Completion
+
+void Simulator::complete_bus(Transaction* txn) {
+  if (txn->phase == TxnPhase::kOnBusResp) {
+    if (!fill_own(txn)) {
+      fill_retry_.push_back(txn);
+      return;
+    }
+    finalize(txn);
+    return;
+  }
+
+  SYNCPAT_ASSERT(txn->phase == TxnPhase::kOnBusReq);
+  switch (txn->kind) {
+    case TxnKind::kUpgrade: {
+      SYNCPAT_ASSERT(txn->requester >= 0);
+      const bool ok = caches_[static_cast<std::uint32_t>(txn->requester)]
+                          ->complete_upgrade(txn->line_addr);
+      SYNCPAT_ASSERT_MSG(ok, "upgrade line vanished while on the bus");
+      finalize(txn);
+      return;
+    }
+    case TxnKind::kWriteBack:
+    case TxnKind::kWriteThrough:
+      txn->phase = TxnPhase::kInMemory;
+      line_inflight_.erase(txn->line_addr);
+      memory_.push_request(txn);
+      return;
+    case TxnKind::kHandoff:
+      finalize(txn);
+      return;
+    case TxnKind::kRead:
+    case TxnKind::kReadX: {
+      if (!txn->fills_line) {
+        // Ownership broadcast on a line the requester already holds.
+        if (txn->kind == TxnKind::kReadX) {
+          caches_[static_cast<std::uint32_t>(txn->requester)]->force_modified(
+              txn->line_addr);
+        }
+        finalize(txn);
+        return;
+      }
+      if (txn->supplied_by_cache) {
+        if (txn->dirty_supplier && txn->kind == TxnKind::kRead) {
+          // Illinois reflection: a dirty supplier updates memory during the
+          // transfer; model the memory-side cost with an absorbed write.
+          Transaction* reflect = make_txn(TxnKind::kWriteBack, txn->line_addr,
+                                          /*requester=*/-2, StallCause::kNone,
+                                          /*fills_line=*/false);
+          reflect->phase = TxnPhase::kInMemory;
+          memory_.push_request(reflect);
+        }
+        if (!fill_own(txn)) {
+          fill_retry_.push_back(txn);
+          return;
+        }
+        finalize(txn);
+        return;
+      }
+      txn->phase = TxnPhase::kInMemory;
+      txn->issued_cycle = 0;  // re-stamped when it reaches the output buffer
+      memory_.push_request(txn);
+      return;
+    }
+  }
+}
+
+bool Simulator::fill_own(Transaction* txn) {
+  SYNCPAT_ASSERT(txn->requester >= 0);
+  cache::Cache& cache = *caches_[static_cast<std::uint32_t>(txn->requester)];
+  const cache::LineState st = cache.state(txn->line_addr);
+  const cache::LineState final_state =
+      txn->kind == TxnKind::kReadX ? cache::LineState::kModified
+      : txn->supplied_by_cache     ? cache::LineState::kShared
+                                   : cache::LineState::kExclusive;
+  switch (st) {
+    case cache::LineState::kPending:
+      cache.fill(txn->line_addr, final_state);
+      return true;
+    case cache::LineState::kInvalid: {
+      const cache::Cache::AllocateResult alloc = cache.allocate(txn->line_addr);
+      if (!alloc.ok) return false;  // all ways awaiting fills; retried later
+      if (alloc.writeback_line.has_value()) {
+        Transaction* wb = make_txn(TxnKind::kWriteBack, *alloc.writeback_line,
+                                   txn->requester, StallCause::kNone,
+                                   /*fills_line=*/false);
+        procs_[static_cast<std::uint32_t>(txn->requester)]->push_pending(wb);
+      }
+      cache.fill(txn->line_addr, final_state);
+      return true;
+    }
+    default:
+      // Forced atomic on a line we already hold.
+      if (txn->kind == TxnKind::kReadX) cache.force_modified(txn->line_addr);
+      return true;
+  }
+}
+
+void Simulator::finalize(Transaction* txn) {
+  if (auto it = line_inflight_.find(txn->line_addr);
+      it != line_inflight_.end() && it->second == txn) {
+    line_inflight_.erase(it);
+  }
+  txn->phase = TxnPhase::kDone;
+  txn->completed_cycle = cycle_;
+
+  const bool counts_for_fence = !txn->is_lock_op &&
+                                txn->kind != TxnKind::kWriteBack &&
+                                txn->kind != TxnKind::kHandoff;
+  if (txn->requester >= 0 && counts_for_fence) {
+    auto& count = outstanding_fence_[static_cast<std::uint32_t>(txn->requester)];
+    SYNCPAT_ASSERT(count > 0);
+    --count;
+  }
+  if (txn->requester_waiting) {
+    SYNCPAT_ASSERT(txn->requester >= 0);
+    procs_[static_cast<std::uint32_t>(txn->requester)]->on_txn_complete(txn);
+  }
+  retire(txn);
+}
+
+// --------------------------------------------------------------------------
+// Barriers
+
+void Simulator::barrier_arrive(std::uint32_t proc, std::uint32_t line_addr) {
+  // The arrival is an atomic fetch&increment of the barrier counter: one
+  // ownership transaction; waiting afterwards is quiet (queuing style).
+  const BarrierState& b = barriers_[line_addr];
+  const StallCause cause = b.waiting.empty() ? StallCause::kCacheMiss
+                                             : StallCause::kLockWait;
+  issue_lock_txn(proc, line_addr, TxnKind::kReadX, /*forced=*/true, cause,
+                 /*stalls=*/true, sync::kStepBarrier);
+}
+
+void Simulator::lock_step_complete(std::uint32_t proc, std::uint32_t line_addr,
+                                   std::uint8_t step) {
+  if (step != sync::kStepBarrier) {
+    scheme_->on_txn_complete(proc, line_addr, step);
+    return;
+  }
+  BarrierState& b = barriers_[line_addr];
+  barrier_waiters_at_arrival_.add(static_cast<double>(b.waiting.size()));
+  if (b.waiting.size() + 1 == procs_.size()) {
+    // Last arrival: release everyone.
+    ++barriers_completed_;
+    for (const BarrierState::Arrival& a : b.waiting) {
+      barrier_wait_.add(static_cast<double>(cycle_ - a.cycle));
+      procs_[a.proc]->lock_acquired();
+    }
+    barrier_wait_.add(0.0);  // the last arriver does not wait
+    b.waiting.clear();
+    procs_[proc]->lock_acquired();
+  } else {
+    b.waiting.push_back(BarrierState::Arrival{proc, cycle_});
+    procs_[proc]->enter_lock_wait(/*spinning=*/false);
+  }
+}
+
+// --------------------------------------------------------------------------
+// SchemeServices
+
+void Simulator::issue_lock_txn(std::uint32_t proc, std::uint32_t line_addr,
+                               TxnKind kind, bool forced, StallCause cause,
+                               bool stalls, std::uint8_t step) {
+  Transaction* txn = make_txn(kind, line_addr, static_cast<std::int32_t>(proc),
+                              cause, /*fills_line=*/false, /*lock_op=*/true);
+  txn->forced_bus = forced;
+  txn->lock_step = step;
+  if (stalls) {
+    txn->requester_waiting = true;
+    spin_line_[proc] = 0;  // leaving any spin
+    procs_[proc]->stall_on_txn(txn);
+  }
+  procs_[proc]->push_pending(txn);
+}
+
+void Simulator::issue_handoff(std::uint32_t from_proc, std::uint32_t line_addr) {
+  Transaction* txn =
+      make_txn(TxnKind::kHandoff, line_addr,
+               static_cast<std::int32_t>(from_proc), StallCause::kNone,
+               /*fills_line=*/false, /*lock_op=*/true);
+  procs_[from_proc]->push_pending(txn);
+}
+
+cache::LineState Simulator::line_state(std::uint32_t proc,
+                                       std::uint32_t line_addr) const {
+  return caches_[proc]->state(line_addr);
+}
+
+void Simulator::proc_wait(std::uint32_t proc, bool spinning,
+                          std::uint32_t spin_line) {
+  if (spinning) {
+    SYNCPAT_ASSERT_MSG(
+        line_state(proc, spin_line) != cache::LineState::kInvalid,
+        "spin registration requires a valid cached copy");
+    spin_line_[proc] = spin_line;
+  }
+  procs_[proc]->enter_lock_wait(spinning);
+}
+
+void Simulator::stop_spin(std::uint32_t proc) { spin_line_[proc] = 0; }
+
+void Simulator::proc_acquired(std::uint32_t proc) {
+  spin_line_[proc] = 0;
+  procs_[proc]->lock_acquired();
+}
+
+void Simulator::proc_release_done(std::uint32_t proc) {
+  procs_[proc]->lock_release_done();
+}
+
+void Simulator::schedule_timer(std::uint32_t proc, std::uint32_t line_addr,
+                               std::uint64_t delay) {
+  timers_.push_back(Timer{cycle_ + std::max<std::uint64_t>(delay, 1), proc,
+                          line_addr});
+}
+
+// --------------------------------------------------------------------------
+// Results
+
+SimulationResult Simulator::collect_results() const {
+  SimulationResult result;
+  result.program = program_name_;
+  result.scheme = scheme_->name();
+  result.consistency = bus::consistency_name(cfg_.consistency);
+  result.num_procs = static_cast<std::uint32_t>(procs_.size());
+  result.locks = lock_stats_.total();
+  result.bus_utilization = bus_.utilization();
+  result.barriers_completed = barriers_completed_;
+  result.barrier_wait_cycles = barrier_wait_;
+  result.barrier_waiters_at_arrival = barrier_waiters_at_arrival_;
+  result.traffic = traffic_;
+
+  std::uint64_t stall_cache = 0, stall_lock = 0, stall_fence = 0;
+  double util_sum = 0.0;
+  std::uint64_t w_hits = 0, w_misses = 0, r_hits = 0, r_misses = 0;
+  for (std::uint32_t p = 0; p < procs_.size(); ++p) {
+    const ProcStats& ps = procs_[p]->stats();
+    ProcResult pr;
+    pr.work_cycles = ps.work_cycles;
+    pr.stall_cache = ps.stall_cache;
+    pr.stall_lock = ps.stall_lock;
+    pr.stall_fence = ps.stall_fence;
+    pr.completion_cycle = ps.completion_cycle;
+    pr.utilization = ps.utilization();
+    result.per_proc.push_back(pr);
+
+    result.run_time = std::max(result.run_time, ps.completion_cycle);
+    util_sum += ps.utilization();
+    stall_cache += ps.stall_cache;
+    stall_lock += ps.stall_lock;
+    stall_fence += ps.stall_fence;
+    result.syncs += ps.syncs;
+    result.syncs_with_pending += ps.syncs_with_pending;
+
+    const cache::CacheStats& cs = caches_[p]->stats();
+    w_hits += cs.write_hits;
+    w_misses += cs.write_misses;
+    r_hits += cs.read_hits + cs.ifetch_hits;
+    r_misses += cs.read_misses + cs.ifetch_misses;
+    result.read_bypasses += ifaces_[p]->bypasses();
+  }
+  result.avg_utilization = util_sum / static_cast<double>(procs_.size());
+
+  const std::uint64_t stalls = stall_cache + stall_lock + stall_fence;
+  if (stalls > 0) {
+    // Fence stalls fold into the cache-miss share (they wait on memory).
+    result.stall_cache_pct =
+        100.0 * static_cast<double>(stall_cache + stall_fence) /
+        static_cast<double>(stalls);
+    result.stall_lock_pct =
+        100.0 * static_cast<double>(stall_lock) / static_cast<double>(stalls);
+  }
+  if (w_hits + w_misses > 0) {
+    result.write_hit_ratio = static_cast<double>(w_hits) /
+                             static_cast<double>(w_hits + w_misses);
+  }
+  if (r_hits + r_misses > 0) {
+    result.read_hit_ratio = static_cast<double>(r_hits) /
+                            static_cast<double>(r_hits + r_misses);
+  }
+  return result;
+}
+
+}  // namespace syncpat::core

@@ -1,0 +1,161 @@
+// Cycle-driven simulator of the whole machine (paper §2.2).
+//
+// Per-cycle phase order (chosen so that an uncontended miss stalls exactly
+// 1 + memory + line-transfer = 6 cycles, the paper's figure):
+//   1. deferred completions (fills that waited for a cache way);
+//   2. memory module tick;
+//   3. processor ticks (work, issue, stall accounting);
+//   4. bus arbitration (round-robin; snoop happens at grant);
+//   5. bus advance; transaction completions (fills, wake-ups, lock steps).
+//
+// Coherence ordering: at most one transaction per line is in flight at any
+// moment (the arbiter refuses a grant while the line is busy), which is how
+// a real snooping bus with pending-request NACK/retry behaves and what makes
+// lock test-and-set completions atomic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "bus/interface.hpp"
+#include "cache/cache.hpp"
+#include "core/machine_config.hpp"
+#include "core/processor.hpp"
+#include "core/results.hpp"
+#include "mem/memory.hpp"
+#include "sync/lock_stats.hpp"
+#include "sync/scheme.hpp"
+#include "trace/source.hpp"
+
+namespace syncpat::core {
+
+class Simulator final : public sync::SchemeServices {
+ public:
+  /// The program trace must outlive the simulator; sources are reset on
+  /// construction.
+  Simulator(const MachineConfig& config, trace::ProgramTrace& program);
+  ~Simulator() override;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Runs to completion of every processor's trace.
+  SimulationResult run();
+
+  /// Single-step interface for tests.
+  void step();
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] SimulationResult collect_results() const;
+
+  // --- SchemeServices ------------------------------------------------------
+  [[nodiscard]] std::uint64_t now() const override { return cycle_; }
+  [[nodiscard]] std::uint32_t num_procs() const override {
+    return static_cast<std::uint32_t>(procs_.size());
+  }
+  void issue_lock_txn(std::uint32_t proc, std::uint32_t line_addr,
+                      bus::TxnKind kind, bool forced, bus::StallCause cause,
+                      bool stalls, std::uint8_t step) override;
+  void issue_handoff(std::uint32_t from_proc, std::uint32_t line_addr) override;
+  [[nodiscard]] cache::LineState line_state(std::uint32_t proc,
+                                            std::uint32_t line_addr) const override;
+  void proc_wait(std::uint32_t proc, bool spinning,
+                 std::uint32_t spin_line) override;
+  void stop_spin(std::uint32_t proc) override;
+  void proc_acquired(std::uint32_t proc) override;
+  void proc_release_done(std::uint32_t proc) override;
+  void schedule_timer(std::uint32_t proc, std::uint32_t line_addr,
+                      std::uint64_t delay) override;
+
+  // --- processor-facing services -------------------------------------------
+  /// Barrier arrival: one atomic counter transaction; the processor waits
+  /// until every processor has arrived.  All traces must contain the same
+  /// barrier sequence (a missing arrival trips the progress watchdog).
+  void barrier_arrive(std::uint32_t proc, std::uint32_t line_addr);
+  /// Routes a completed lock-step transaction to the lock scheme or, for
+  /// barrier arrivals, to the barrier bookkeeping.
+  void lock_step_complete(std::uint32_t proc, std::uint32_t line_addr,
+                          std::uint8_t step);
+  bus::Transaction* make_txn(bus::TxnKind kind, std::uint32_t line_addr,
+                             std::int32_t requester, bus::StallCause cause,
+                             bool fills_line, bool lock_op = false);
+  /// A not-yet-completed transaction by `proc` on `line_addr`, if any.
+  [[nodiscard]] bus::Transaction* find_proc_txn(std::uint32_t proc,
+                                                std::uint32_t line_addr) const;
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+  [[nodiscard]] sync::LockScheme& scheme() { return *scheme_; }
+  [[nodiscard]] std::uint32_t outstanding_fence(std::uint32_t proc) const {
+    return outstanding_fence_[proc];
+  }
+
+  // Introspection for tests/benches.
+  [[nodiscard]] const bus::Bus& bus() const { return bus_; }
+  [[nodiscard]] const mem::Memory& memory() const { return memory_; }
+  [[nodiscard]] const cache::Cache& cache_of(std::uint32_t proc) const {
+    return *caches_[proc];
+  }
+  [[nodiscard]] const Processor& proc(std::uint32_t p) const { return *procs_[p]; }
+  [[nodiscard]] const sync::LockStatsCollector& lock_stats() const {
+    return lock_stats_;
+  }
+
+ private:
+  void arbitrate();
+  void grant_memory_response();
+  bool try_grant(std::uint32_t port);
+  void snoop_others(bus::Transaction* txn);
+  void complete_bus(bus::Transaction* txn);
+  /// Installs the fetched line; false when the fill must be retried later.
+  bool fill_own(bus::Transaction* txn);
+  void finalize(bus::Transaction* txn);
+  void retire(bus::Transaction* txn);
+  void notify_invalidation(std::uint32_t proc, std::uint32_t line_addr);
+  void check_progress();
+
+  MachineConfig cfg_;
+  std::string program_name_;
+  std::vector<std::unique_ptr<cache::Cache>> caches_;
+  std::vector<std::unique_ptr<bus::BusInterface>> ifaces_;
+  std::vector<std::unique_ptr<Processor>> procs_;
+  bus::Bus bus_;
+  mem::Memory memory_;
+  sync::LockStatsCollector lock_stats_;
+  std::unique_ptr<sync::LockScheme> scheme_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_txn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<bus::Transaction>> active_;
+  std::unordered_map<std::uint32_t, bus::Transaction*> line_inflight_;
+  std::vector<bus::Transaction*> fill_retry_;
+  std::vector<std::uint32_t> spin_line_;        // per proc; 0 = not spinning
+  std::vector<std::uint32_t> outstanding_fence_;  // per proc
+
+  struct BarrierState {
+    struct Arrival {
+      std::uint32_t proc;
+      std::uint64_t cycle;
+    };
+    std::vector<Arrival> waiting;
+  };
+  std::unordered_map<std::uint32_t, BarrierState> barriers_;
+  struct Timer {
+    std::uint64_t fire_cycle;
+    std::uint32_t proc;
+    std::uint32_t line_addr;
+  };
+  std::vector<Timer> timers_;  // few entries; scanned each cycle
+  std::uint64_t barriers_completed_ = 0;
+  util::RunningStat barrier_wait_;
+  util::RunningStat barrier_waiters_at_arrival_;
+  BusTraffic traffic_;
+
+  // Progress watchdog.
+  std::uint64_t last_progress_cycle_ = 0;
+  std::uint64_t progress_marker_ = 0;
+
+  friend class Processor;
+};
+
+}  // namespace syncpat::core

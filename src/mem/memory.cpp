@@ -1,0 +1,35 @@
+#include "mem/memory.hpp"
+
+namespace syncpat::mem {
+
+void Memory::tick() {
+  if (active_ == nullptr && !input_.empty()) {
+    active_ = input_.pop_front();
+    remaining_ = config_.access_cycles;
+  }
+  if (active_ == nullptr) return;
+
+  ++busy_cycles_;
+  if (--remaining_ > 0) return;
+
+  // Access complete.  Write-backs (and reflected dirty supplies) are
+  // absorbed; reads need the output buffer.
+  const bool needs_response = active_->kind == bus::TxnKind::kRead ||
+                              active_->kind == bus::TxnKind::kReadX;
+  if (!needs_response) {
+    ++served_;
+    absorbed_.push_back(active_);
+    active_ = nullptr;
+    return;
+  }
+  if (output_.full()) {
+    remaining_ = 1;  // retry next cycle: module blocked until space frees
+    return;
+  }
+  active_->phase = bus::TxnPhase::kMemOutput;
+  output_.push_back(active_);
+  ++served_;
+  active_ = nullptr;
+}
+
+}  // namespace syncpat::mem

@@ -1,0 +1,72 @@
+// Main memory module (paper §2.2).
+//
+// Three-cycle access time, a two-element input buffer (a split-transaction
+// request may arrive while a previous one is being processed) and a
+// two-element output buffer (the bus may be busy when an access completes).
+// Reads produce a response that re-arbitrates for the bus; writes
+// (write-backs and dirty-supplier reflections) are absorbed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bus/transaction.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace syncpat::mem {
+
+struct MemoryConfig {
+  std::uint32_t access_cycles = 3;
+  std::uint32_t input_depth = 2;
+  std::uint32_t output_depth = 2;
+};
+
+class Memory {
+ public:
+  explicit Memory(const MemoryConfig& config)
+      : config_(config), input_(config.input_depth), output_(config.output_depth) {}
+
+  [[nodiscard]] bool input_full() const { return input_.full(); }
+
+  /// Delivers a request from the bus.  Precondition: !input_full().
+  void push_request(bus::Transaction* txn) {
+    input_.push_back(txn);
+    ++requests_;
+  }
+
+  /// Response (if any) waiting for the bus.
+  [[nodiscard]] bus::Transaction* pending_response() const {
+    return output_.empty() ? nullptr : output_.front();
+  }
+  bus::Transaction* pop_response() { return output_.pop_front(); }
+
+  /// Advances one cycle: starts a new access when idle, finishes the current
+  /// one when its three cycles elapse.  A completed read moves to the output
+  /// buffer; if the output buffer is full the module stalls (head-of-line
+  /// blocking), matching a memory controller that cannot retire.
+  void tick();
+
+  /// Write transactions the module absorbed since the last drain (the
+  /// simulator retires them; memory produces no response for writes).
+  [[nodiscard]] std::vector<bus::Transaction*> drain_absorbed() {
+    return std::exchange(absorbed_, {});
+  }
+
+  [[nodiscard]] bool idle() const { return active_ == nullptr && input_.empty(); }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
+
+ private:
+  MemoryConfig config_;
+  util::RingBuffer<bus::Transaction*> input_;
+  util::RingBuffer<bus::Transaction*> output_;
+  std::vector<bus::Transaction*> absorbed_;
+  bus::Transaction* active_ = nullptr;
+  std::uint32_t remaining_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace syncpat::mem

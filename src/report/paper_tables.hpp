@@ -1,0 +1,59 @@
+// Renderers for each table of the paper, with the published values printed
+// alongside the reproduced ones.
+//
+// Trace-length scaling: benches default to traces 1/N the paper's length
+// (SYNCPAT_SCALE).  Quantities that grow linearly with trace length
+// (run-time, reference counts, lock pairs, transfers) are multiplied by N
+// for display so the columns are directly comparable; rate quantities
+// (utilization, waiters at transfer, hold times, percentages) are
+// scale-invariant and shown as measured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/results.hpp"
+#include "report/table.hpp"
+#include "trace/analyzer.hpp"
+
+namespace syncpat::report {
+
+/// Published per-benchmark values used in the comparison columns.
+struct PaperReference {
+  const char* name;
+  int procs;
+  // Table 1 (thousands, per processor).
+  double work_k, refs_k, data_k, shared_k;
+  // Table 2.
+  double lock_pairs, nested, avg_held, total_held_k, pct_time;
+  // Table 3 (queuing) / 5 (T&T&S).
+  double q_runtime, q_util, q_stall_cache, q_stall_lock;
+  double t_runtime, t_util, t_stall_cache, t_stall_lock;
+  // Table 4 (queuing) / 6 (T&T&S): held, transfers, waiters, held@transfer.
+  double q_held, q_transfers, q_waiters, q_held_tr;
+  double t_held, t_transfers, t_waiters, t_held_tr;
+  // Table 7/8 (weak ordering).
+  double w_runtime, w_util, w_diff, w_whit;
+  double w_held, w_transfers, w_waiters, w_held_tr;
+  bool has_locks;
+};
+
+[[nodiscard]] const std::vector<PaperReference>& paper_reference();
+
+Table table1_ideal(const std::vector<trace::IdealProgramStats>& stats,
+                   std::uint64_t scale);
+Table table2_ideal_locks(const std::vector<trace::IdealProgramStats>& stats,
+                         std::uint64_t scale);
+/// Tables 3 and 5 share a layout; `which` is 3 (queuing) or 5 (T&T&S).
+Table table_runtime(int which, const std::vector<core::SimulationResult>& results,
+                    std::uint64_t scale);
+/// Tables 4, 6 and 8 share a layout; `which` selects the paper column set.
+Table table_contention(int which,
+                       const std::vector<core::SimulationResult>& results,
+                       std::uint64_t scale);
+/// Table 7: weak-ordering run-times against the matching SC baselines.
+Table table7_weak(const std::vector<core::SimulationResult>& weak,
+                  const std::vector<core::SimulationResult>& sequential,
+                  std::uint64_t scale);
+
+}  // namespace syncpat::report

@@ -1,0 +1,51 @@
+#include "report/per_lock.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "trace/address_map.hpp"
+#include "util/format.hpp"
+
+namespace syncpat::report {
+
+Table per_lock_table(const sync::LockStatsCollector& stats,
+                     std::size_t max_rows) {
+  std::vector<std::pair<std::uint32_t, const sync::LockAggregate*>> locks;
+  locks.reserve(stats.per_lock().size());
+  for (const auto& [line, agg] : stats.per_lock()) {
+    locks.emplace_back(line, &agg);
+  }
+  std::sort(locks.begin(), locks.end(), [](const auto& a, const auto& b) {
+    if (a.second->acquisitions != b.second->acquisitions) {
+      return a.second->acquisitions > b.second->acquisitions;
+    }
+    return a.first < b.first;
+  });
+
+  Table t("Per-lock contention (top " + std::to_string(max_rows) +
+          " by acquisitions)");
+  t.columns({"Lock", "Acqs", "Transfers", "Waiters", "Held", "Transfer(cy)"});
+  for (std::size_t i = 0; i < locks.size() && i < max_rows; ++i) {
+    const auto& [line, agg] = locks[i];
+    char label[32];
+    if (trace::AddressMap::classify(line) == trace::Region::kLock &&
+        line < trace::AddressMap::lock_addr(1u << 20)) {
+      std::snprintf(label, sizeof(label), "lock %u",
+                    trace::AddressMap::lock_id(line));
+    } else {
+      std::snprintf(label, sizeof(label), "0x%08x", line);
+    }
+    t.add_row({label, util::with_commas(agg->acquisitions),
+               util::with_commas(agg->transfers),
+               util::fixed(agg->waiters_at_transfer.mean(), 2),
+               util::fixed(agg->hold_cycles.mean(), 0),
+               util::fixed(agg->transfer_cycles.mean(), 1)});
+  }
+  if (locks.size() > max_rows) {
+    t.note(std::to_string(locks.size() - max_rows) + " more locks omitted");
+  }
+  return t;
+}
+
+}  // namespace syncpat::report

@@ -1,0 +1,81 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace syncpat::report {
+
+Table& Table::columns(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::note(std::string text) {
+  notes_.push_back(std::move(text));
+  return *this;
+}
+
+std::string Table::render() const {
+  const std::size_t ncols =
+      std::max(headers_.size(),
+               rows_.empty() ? std::size_t{0} : rows_.front().size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size() && c < ncols; ++c) {
+      widths[c] = std::max(widths[c], cells[c].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  out << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& cells, bool right) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      if (c > 0) out << "  ";
+      // First column (program names) left-aligned, the rest right-aligned.
+      out << ((c == 0 || !right) ? util::pad_right(cell, widths[c])
+                                 : util::pad_left(cell, widths[c]));
+    }
+    out << '\n';
+  };
+  if (!headers_.empty()) {
+    emit(headers_, false);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ncols; ++c) total += widths[c] + (c > 0 ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row, true);
+  for (const auto& n : notes_) out << "  " << n << '\n';
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      const bool quote = cells[c].find(',') != std::string::npos;
+      if (quote) out << '"';
+      out << cells[c];
+      if (quote) out << '"';
+    }
+    out << '\n';
+  };
+  if (!headers_.empty()) emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const { out << render() << '\n'; }
+
+}  // namespace syncpat::report

@@ -1,0 +1,34 @@
+// Column-aligned ASCII table renderer for the paper-style outputs, plus CSV
+// export for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace syncpat::report {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Column headers (one or two stacked lines split on '\n').
+  Table& columns(std::vector<std::string> headers);
+  Table& add_row(std::vector<std::string> cells);
+  /// A footnote line printed under the table.
+  Table& note(std::string text);
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::string to_csv() const;
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace syncpat::report

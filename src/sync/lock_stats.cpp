@@ -1,0 +1,59 @@
+#include "sync/lock_stats.hpp"
+
+#include "util/assert.hpp"
+
+namespace syncpat::sync {
+
+void LockStatsCollector::acquired(std::uint32_t lock_line, std::uint32_t /*proc*/,
+                                  std::uint64_t now) {
+  Live& live = live_[lock_line];
+  live.acquire_time = now;
+  ++total_.acquisitions;
+  ++per_lock_[lock_line].acquisitions;
+  if (live.transfer_pending) {
+    // acquired() via a hand-off also closes the transfer-latency window.
+    const auto latency = static_cast<double>(now - live.release_time);
+    total_.transfer_cycles.add(latency);
+    total_.transfer_hist.add(now - live.release_time);
+    per_lock_[lock_line].transfer_cycles.add(latency);
+    per_lock_[lock_line].transfer_hist.add(now - live.release_time);
+    live.transfer_pending = false;
+  }
+}
+
+void LockStatsCollector::release_issued(std::uint32_t lock_line,
+                                        std::uint64_t now) {
+  Live& live = live_[lock_line];
+  live.release_issue_time = now;
+  live.release_issue_valid = true;
+}
+
+void LockStatsCollector::released(std::uint32_t lock_line, std::uint64_t now,
+                                  bool transferred, std::uint64_t waiters_left) {
+  auto it = live_.find(lock_line);
+  SYNCPAT_ASSERT_MSG(it != live_.end(), "release of a lock never acquired");
+  Live& live = it->second;
+  const std::uint64_t hold_end =
+      live.release_issue_valid ? live.release_issue_time : now;
+  live.release_issue_valid = false;
+  const auto held = static_cast<double>(hold_end - live.acquire_time);
+  total_.hold_cycles.add(held);
+  per_lock_[lock_line].hold_cycles.add(held);
+  if (transferred) {
+    ++total_.transfers;
+    ++per_lock_[lock_line].transfers;
+    total_.hold_cycles_transfer.add(held);
+    per_lock_[lock_line].hold_cycles_transfer.add(held);
+    total_.waiters_at_transfer.add(static_cast<double>(waiters_left));
+    per_lock_[lock_line].waiters_at_transfer.add(static_cast<double>(waiters_left));
+    live.release_time = now;
+    live.transfer_pending = true;
+  }
+}
+
+void LockStatsCollector::transfer_acquired(std::uint32_t lock_line,
+                                           std::uint64_t now) {
+  acquired(lock_line, 0, now);
+}
+
+}  // namespace syncpat::sync

@@ -1,0 +1,68 @@
+// Lock contention statistics (paper Tables 2, 4, 6, 8).
+//
+// A *transfer* is "the number of times a lock is released by a processor and
+// acquired by another waiting processor"; the *waiters at transfer* count is
+// "the number of processors still waiting for the lock after it has been
+// released by one processor and acquired by the first waiter".  Transfer
+// time measures release-to-next-acquire latency (the paper quotes
+// ~1.2-1.5 cycles for its queuing-lock approximation and ~21-25 for T&T&S).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/histogram.hpp"
+#include "util/running_stat.hpp"
+
+namespace syncpat::sync {
+
+struct LockAggregate {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t transfers = 0;
+  util::RunningStat hold_cycles;           // all acquisitions
+  util::RunningStat hold_cycles_transfer;  // acquisitions whose release handed off
+  util::RunningStat waiters_at_transfer;   // still waiting after the hand-off
+  util::RunningStat transfer_cycles;       // release-complete -> next acquire
+  util::Histogram transfer_hist;
+};
+
+class LockStatsCollector {
+ public:
+  /// Processor `proc` now owns the lock.
+  void acquired(std::uint32_t lock_line, std::uint32_t proc, std::uint64_t now);
+
+  /// The owner issued its releasing access at `now`.  Hold time ends here
+  /// (the critical section is over); the release access itself and the
+  /// hand-off are transfer overhead, measured separately.
+  void release_issued(std::uint32_t lock_line, std::uint64_t now);
+
+  /// The lock was released at `now` with `waiters_left` processors still
+  /// waiting *after* the next owner (if any) was chosen.  `transferred` is
+  /// true when a waiting processor takes the lock.
+  void released(std::uint32_t lock_line, std::uint64_t now, bool transferred,
+                std::uint64_t waiters_left);
+
+  /// The waiter chosen at the matching released() call is now running.
+  void transfer_acquired(std::uint32_t lock_line, std::uint64_t now);
+
+  [[nodiscard]] const LockAggregate& total() const { return total_; }
+  [[nodiscard]] const std::unordered_map<std::uint32_t, LockAggregate>& per_lock()
+      const {
+    return per_lock_;
+  }
+
+ private:
+  struct Live {
+    std::uint64_t acquire_time = 0;
+    std::uint64_t release_time = 0;
+    std::uint64_t release_issue_time = 0;
+    bool release_issue_valid = false;
+    bool transfer_pending = false;
+  };
+
+  LockAggregate total_;
+  std::unordered_map<std::uint32_t, LockAggregate> per_lock_;
+  std::unordered_map<std::uint32_t, Live> live_;
+};
+
+}  // namespace syncpat::sync

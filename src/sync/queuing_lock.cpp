@@ -1,0 +1,152 @@
+#include "sync/queuing_lock.hpp"
+
+#include "trace/address_map.hpp"
+#include "util/assert.hpp"
+
+namespace syncpat::sync {
+
+std::uint32_t QueuingLock::spin_line(std::uint32_t proc) {
+  // A dedicated 64-byte-spaced slot per processor, far above any real lock id
+  // (lock ids are dense from zero; this region starts at id 2^20).
+  return trace::AddressMap::kLockBase + (1u << 26) + proc * 64;
+}
+
+void QueuingLock::begin_acquire(std::uint32_t proc, std::uint32_t lock_line) {
+  // One memory access: the atomic exchange that enters the queue.
+  const bus::StallCause cause = held_by_other(proc, lock_line)
+                                    ? bus::StallCause::kLockWait
+                                    : bus::StallCause::kCacheMiss;
+  services_.issue_lock_txn(proc, lock_line, bus::TxnKind::kReadX,
+                           /*forced=*/true, cause, /*stalls=*/true, kStepAcquire);
+}
+
+void QueuingLock::begin_release(std::uint32_t proc, std::uint32_t lock_line) {
+  LockState& lock = state(lock_line);
+  SYNCPAT_ASSERT_MSG(lock.owner == static_cast<std::int32_t>(proc),
+                     "release by a processor that does not hold the lock");
+  stats_.release_issued(lock_line, services_.now());
+  services_.issue_lock_txn(proc, lock_line, bus::TxnKind::kReadX,
+                           /*forced=*/true, bus::StallCause::kCacheMiss,
+                           /*stalls=*/true, kStepRelease);
+}
+
+void QueuingLock::on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
+                                  std::uint8_t step) {
+  switch (step) {
+    case kStepAcquire: {
+      LockState& lock = state(line_addr);
+      if (lock.owner < 0 && lock.pending_next < 0) {
+        lock.owner = static_cast<std::int32_t>(proc);
+        stats_.acquired(line_addr, proc, services_.now());
+        services_.proc_acquired(proc);
+      } else if (exact_) {
+        // Second access of the enqueue phase: publish the spin location.
+        services_.issue_lock_txn(proc, line_addr, bus::TxnKind::kReadX,
+                                 /*forced=*/true, bus::StallCause::kLockWait,
+                                 /*stalls=*/true, kStepEnqueue);
+      } else {
+        state(line_addr).waiters.push_back(proc);
+        services_.proc_wait(proc, /*spinning=*/false, 0);
+      }
+      break;
+    }
+    case kStepEnqueue: {
+      // The two-phase enqueue races the release: if the lock was freed with
+      // an empty queue while we published our spin location, take it now
+      // (the real Graunke-Thakkar exchange enqueues atomically, so this
+      // window exists only in the two-access model).
+      LockState& lock = state(line_addr);
+      if (lock.owner < 0 && lock.pending_next < 0) {
+        lock.owner = static_cast<std::int32_t>(proc);
+        stats_.acquired(line_addr, proc, services_.now());
+        services_.proc_acquired(proc);
+      } else {
+        lock.waiters.push_back(proc);
+        services_.proc_wait(proc, /*spinning=*/false, 0);
+      }
+      break;
+    }
+    case kStepRelease: {
+      LockState& lock = state(line_addr);
+      const bool transfer = !lock.waiters.empty();
+      lock.owner = -1;
+      if (!transfer) {
+        stats_.released(line_addr, services_.now(), false, 0);
+        services_.proc_release_done(proc);
+        break;
+      }
+      const std::uint32_t next = lock.waiters.front();
+      lock.waiters.pop_front();
+      stats_.released(line_addr, services_.now(), true, lock.waiters.size());
+      if (exact_) {
+        // No cache-to-cache transfer under Illinois on this path: the
+        // releaser performs one more memory access (the store to the
+        // waiter's spin flag).
+        lock.pending_next = static_cast<std::int32_t>(next);
+        services_.issue_lock_txn(proc, line_addr, bus::TxnKind::kReadX,
+                                 /*forced=*/true, bus::StallCause::kCacheMiss,
+                                 /*stalls=*/true, kStepRelease2);
+      } else {
+        lock.owner = static_cast<std::int32_t>(next);
+        pending_handoff_[line_addr] = next;
+        services_.issue_handoff(proc, line_addr);
+        services_.proc_release_done(proc);
+      }
+      break;
+    }
+    case kStepRelease2: {
+      // Exact variant: releaser is done; the waiter now re-reads its
+      // invalidated spin flag (its own memory access) before running.
+      LockState& lock = state(line_addr);
+      SYNCPAT_ASSERT(lock.pending_next >= 0);
+      const auto next = static_cast<std::uint32_t>(lock.pending_next);
+      services_.proc_release_done(proc);
+      services_.issue_lock_txn(next, spin_line(next), bus::TxnKind::kRead,
+                               /*forced=*/true, bus::StallCause::kLockWait,
+                               /*stalls=*/true, kStepSpinRead);
+      break;
+    }
+    case kStepSpinRead: {
+      // The waiter observed its spin flag flip: it owns the lock.  Find the
+      // lock this processor was promoted on.
+      for (auto& [line, lock] : locks_) {
+        if (lock.pending_next == static_cast<std::int32_t>(proc)) {
+          lock.pending_next = -1;
+          lock.owner = static_cast<std::int32_t>(proc);
+          stats_.acquired(line, proc, services_.now());
+          services_.proc_acquired(proc);
+          return;
+        }
+      }
+      SYNCPAT_ASSERT_MSG(false, "spin-read completion without a pending wake-up");
+      break;
+    }
+    default:
+      SYNCPAT_ASSERT_MSG(false, "unexpected queuing-lock step");
+  }
+}
+
+void QueuingLock::on_spin_invalidated(std::uint32_t /*proc*/,
+                                      std::uint32_t /*line*/) {
+  // Queuing-lock waiters never register coherence-driven spins.
+  SYNCPAT_ASSERT(false);
+}
+
+void QueuingLock::on_handoff_granted(std::uint32_t line_addr) {
+  auto it = pending_handoff_.find(line_addr);
+  SYNCPAT_ASSERT(it != pending_handoff_.end());
+  const std::uint32_t next = it->second;
+  pending_handoff_.erase(it);
+  stats_.acquired(line_addr, next, services_.now());
+  services_.proc_acquired(next);
+}
+
+bool QueuingLock::held_by_other(std::uint32_t proc,
+                                std::uint32_t lock_line) const {
+  auto it = locks_.find(lock_line);
+  if (it == locks_.end()) return false;
+  return it->second.owner >= 0 &&
+         it->second.owner != static_cast<std::int32_t>(proc);
+}
+
+}  // namespace syncpat::sync

@@ -1,0 +1,35 @@
+// Lock scheme selection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sync/scheme.hpp"
+#include "sync/lock_stats.hpp"
+
+namespace syncpat::sync {
+
+enum class SchemeKind : std::uint8_t {
+  kQueuing,       // paper's approximation of Graunke-Thakkar queuing locks
+  kQueuingExact,  // with the two extra bus transactions (§2.4 future work)
+  kTtas,          // test-and-test-and-set
+  kTas,           // naive test-and-set (ablation baseline)
+  kTasBackoff,    // test-and-set with exponential backoff (Anderson [3])
+  kTicket,        // ticket lock (ablation baseline)
+  kAnderson,      // Anderson's array-based queue lock (Anderson [3])
+};
+
+/// All schemes, for sweeps and parameterized tests.
+[[nodiscard]] const std::vector<SchemeKind>& all_scheme_kinds();
+
+[[nodiscard]] const char* scheme_kind_name(SchemeKind kind);
+[[nodiscard]] SchemeKind scheme_kind_from_name(const std::string& name);
+
+[[nodiscard]] std::unique_ptr<LockScheme> make_scheme(SchemeKind kind,
+                                                      SchemeServices& services,
+                                                      LockStatsCollector& stats,
+                                                      std::uint32_t line_bytes);
+
+}  // namespace syncpat::sync

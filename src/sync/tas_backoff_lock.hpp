@@ -1,0 +1,51 @@
+// Test-and-set with exponential backoff (Anderson [3]).
+//
+// Like the naive spin lock, every attempt is an atomic ownership
+// transaction; but after a failed attempt the processor backs off for an
+// exponentially growing number of cycles before retrying, trading
+// acquisition latency for bus bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sync/lock_stats.hpp"
+#include "sync/scheme.hpp"
+
+namespace syncpat::sync {
+
+class TasBackoffLock final : public LockScheme {
+ public:
+  static constexpr std::uint64_t kInitialBackoff = 4;
+  static constexpr std::uint64_t kMaxBackoff = 1024;
+
+  TasBackoffLock(SchemeServices& services, LockStatsCollector& stats)
+      : services_(services), stats_(stats) {}
+
+  void begin_acquire(std::uint32_t proc, std::uint32_t lock_line) override;
+  void begin_release(std::uint32_t proc, std::uint32_t lock_line) override;
+  void on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
+                       std::uint8_t step) override;
+  void on_spin_invalidated(std::uint32_t proc, std::uint32_t line_addr) override;
+  void on_timer(std::uint32_t proc, std::uint32_t line_addr) override;
+
+  [[nodiscard]] const char* name() const override { return "tas-backoff"; }
+  [[nodiscard]] bool held_by_other(std::uint32_t proc,
+                                   std::uint32_t lock_line) const override;
+
+ private:
+  struct LockState {
+    std::int32_t owner = -1;
+    std::unordered_set<std::uint32_t> trying;
+  };
+
+  void attempt(std::uint32_t proc, std::uint32_t lock_line);
+
+  SchemeServices& services_;
+  LockStatsCollector& stats_;
+  std::unordered_map<std::uint32_t, LockState> locks_;
+  std::unordered_map<std::uint32_t, std::uint64_t> backoff_;  // per proc
+};
+
+}  // namespace syncpat::sync

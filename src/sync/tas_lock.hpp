@@ -1,0 +1,47 @@
+// Naive test-and-set spin lock (baseline from Anderson [3]).
+//
+// Every waiter hammers atomic test-and-set transactions back to back; each
+// attempt is an ownership transaction on the lock line, so waiters saturate
+// the bus and slow everyone down — the pathology that motivated
+// test-and-test-and-set and queuing locks.  Included for the lock-scheme
+// shootout ablation; the paper's own experiments use T&T&S and queuing.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sync/lock_stats.hpp"
+#include "sync/scheme.hpp"
+
+namespace syncpat::sync {
+
+class TasLock final : public LockScheme {
+ public:
+  TasLock(SchemeServices& services, LockStatsCollector& stats)
+      : services_(services), stats_(stats) {}
+
+  void begin_acquire(std::uint32_t proc, std::uint32_t lock_line) override;
+  void begin_release(std::uint32_t proc, std::uint32_t lock_line) override;
+  void on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
+                       std::uint8_t step) override;
+  void on_spin_invalidated(std::uint32_t proc, std::uint32_t line_addr) override;
+
+  [[nodiscard]] const char* name() const override { return "tas"; }
+  [[nodiscard]] bool held_by_other(std::uint32_t proc,
+                                   std::uint32_t lock_line) const override;
+
+ private:
+  struct LockState {
+    std::int32_t owner = -1;
+    std::unordered_set<std::uint32_t> trying;
+  };
+
+  void attempt(std::uint32_t proc, std::uint32_t lock_line);
+
+  SchemeServices& services_;
+  LockStatsCollector& stats_;
+  std::unordered_map<std::uint32_t, LockState> locks_;
+};
+
+}  // namespace syncpat::sync

@@ -1,0 +1,54 @@
+#include "trace/address_map.hpp"
+
+#include "util/assert.hpp"
+
+namespace syncpat::trace {
+
+const char* region_name(Region r) {
+  switch (r) {
+    case Region::kCode: return "code";
+    case Region::kPrivate: return "private";
+    case Region::kShared: return "shared";
+    case Region::kLock: return "lock";
+  }
+  return "?";
+}
+
+Region AddressMap::classify(std::uint32_t addr) {
+  if (addr < kPrivateBase) return Region::kCode;
+  if (addr < kSharedBase) return Region::kPrivate;
+  if (addr < kLockBase) return Region::kShared;
+  return Region::kLock;
+}
+
+std::uint32_t AddressMap::private_addr(std::uint32_t proc, std::uint32_t offset) {
+  SYNCPAT_ASSERT(offset < kPrivateSegment);
+  const std::uint32_t base = kPrivateBase + proc * kPrivateSegment;
+  SYNCPAT_ASSERT(base + offset < kSharedBase);
+  return base + offset;
+}
+
+std::uint32_t AddressMap::shared_addr(std::uint32_t offset) {
+  SYNCPAT_ASSERT(kSharedBase + offset < kLockBase);
+  return kSharedBase + offset;
+}
+
+std::uint32_t AddressMap::lock_addr(std::uint32_t lock_id) {
+  return kLockBase + lock_id * kLockStride;
+}
+
+std::uint32_t AddressMap::barrier_addr(std::uint32_t barrier_id) {
+  return kLockBase + (1u << 25) + barrier_id * kLockStride;
+}
+
+std::uint32_t AddressMap::lock_id(std::uint32_t addr) {
+  SYNCPAT_ASSERT(classify(addr) == Region::kLock);
+  return (addr - kLockBase) / kLockStride;
+}
+
+std::uint32_t AddressMap::private_owner(std::uint32_t addr) {
+  SYNCPAT_ASSERT(classify(addr) == Region::kPrivate);
+  return (addr - kPrivateBase) / kPrivateSegment;
+}
+
+}  // namespace syncpat::trace

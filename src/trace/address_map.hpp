@@ -1,0 +1,57 @@
+// Layout of the simulated 32-bit physical address space.
+//
+// The trace generators and the ideal analyzer need to agree on which
+// addresses are code, per-processor private data, shared data, and lock
+// words; this class is the single source of that truth.
+//
+//   [0x0000_0000, 0x4000_0000)  code
+//   [0x4000_0000, 0x8000_0000)  private data, 16 MiB segment per processor
+//   [0x8000_0000, 0xf000_0000)  shared data
+//   [0xf000_0000, ...)          locks, one 64-byte-aligned word per lock
+//
+// Locks are spaced 64 bytes apart so that no two locks ever share a cache
+// line for any line size up to 64 bytes (the paper's machine uses 16).
+#pragma once
+
+#include <cstdint>
+
+namespace syncpat::trace {
+
+enum class Region : std::uint8_t { kCode, kPrivate, kShared, kLock };
+
+[[nodiscard]] const char* region_name(Region r);
+
+class AddressMap {
+ public:
+  static constexpr std::uint32_t kCodeBase = 0x0000'0000u;
+  static constexpr std::uint32_t kPrivateBase = 0x4000'0000u;
+  static constexpr std::uint32_t kPrivateSegment = 16u << 20;  // 16 MiB / proc
+  static constexpr std::uint32_t kSharedBase = 0x8000'0000u;
+  static constexpr std::uint32_t kLockBase = 0xf000'0000u;
+  static constexpr std::uint32_t kLockStride = 64;
+
+  [[nodiscard]] static Region classify(std::uint32_t addr);
+
+  [[nodiscard]] static std::uint32_t code_addr(std::uint32_t offset) {
+    return kCodeBase + offset;
+  }
+  [[nodiscard]] static std::uint32_t private_addr(std::uint32_t proc,
+                                                  std::uint32_t offset);
+  [[nodiscard]] static std::uint32_t shared_addr(std::uint32_t offset);
+  [[nodiscard]] static std::uint32_t lock_addr(std::uint32_t lock_id);
+  /// Barriers live in their own slice of the lock region (above lock ids,
+  /// below the queuing-lock spin flags).
+  [[nodiscard]] static std::uint32_t barrier_addr(std::uint32_t barrier_id);
+  /// Inverse of lock_addr.  Precondition: classify(addr) == kLock.
+  [[nodiscard]] static std::uint32_t lock_id(std::uint32_t addr);
+  /// Which processor owns a private address.
+  [[nodiscard]] static std::uint32_t private_owner(std::uint32_t addr);
+
+  /// Shared data plus lock words count as "shared" references.
+  [[nodiscard]] static bool is_shared_data(std::uint32_t addr) {
+    const Region r = classify(addr);
+    return r == Region::kShared || r == Region::kLock;
+  }
+};
+
+}  // namespace syncpat::trace

@@ -1,0 +1,131 @@
+#include "trace/analyzer.hpp"
+
+#include <algorithm>
+
+#include "trace/address_map.hpp"
+#include "util/assert.hpp"
+
+namespace syncpat::trace {
+namespace {
+
+double avg_over(const std::vector<IdealProcStats>& v,
+                std::uint64_t IdealProcStats::*field) {
+  if (v.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : v) total += static_cast<double>(s.*field);
+  return total / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+double IdealProgramStats::avg_work_cycles() const {
+  return avg_over(per_proc, &IdealProcStats::work_cycles);
+}
+double IdealProgramStats::avg_refs_all() const {
+  return avg_over(per_proc, &IdealProcStats::refs_all);
+}
+double IdealProgramStats::avg_refs_data() const {
+  return avg_over(per_proc, &IdealProcStats::refs_data);
+}
+double IdealProgramStats::avg_refs_shared() const {
+  return avg_over(per_proc, &IdealProcStats::refs_shared);
+}
+double IdealProgramStats::avg_lock_pairs() const {
+  return avg_over(per_proc, &IdealProcStats::lock_pairs);
+}
+double IdealProgramStats::avg_nested_pairs() const {
+  return avg_over(per_proc, &IdealProcStats::nested_pairs);
+}
+double IdealProgramStats::avg_held_cycles() const {
+  return avg_over(per_proc, &IdealProcStats::held_cycles);
+}
+double IdealProgramStats::avg_pair_hold_cycles() const {
+  return avg_over(per_proc, &IdealProcStats::pair_hold_cycles);
+}
+
+double IdealProgramStats::avg_hold_per_pair() const {
+  const double pairs = avg_lock_pairs();
+  return pairs > 0.0 ? avg_pair_hold_cycles() / pairs : 0.0;
+}
+
+double IdealProgramStats::held_time_fraction() const {
+  const double work = avg_work_cycles();
+  return work > 0.0 ? avg_held_cycles() / work : 0.0;
+}
+
+IdealProcStats analyze_proc(TraceSource& source) {
+  IdealProcStats stats;
+
+  // Locks currently held: (lock address, acquisition time).  Hold time for a
+  // pair spans acquire to matching release; nested holds are counted in full
+  // for each lock, but held_cycles accumulates wall (work-cycle) time during
+  // which at least one lock was held, matching the paper's "% of Time"
+  // semantics where nested sections are not double counted.
+  struct Held {
+    std::uint32_t addr;
+    std::uint64_t acquired_at;
+  };
+  std::vector<Held> held;
+  std::uint64_t now = 0;               // work-cycle clock
+  std::uint64_t locked_since = 0;      // valid when !held.empty()
+
+  Event e;
+  while (source.next(e)) {
+    now += e.gap;
+    switch (e.op) {
+      case Op::kIFetch:
+        ++stats.refs_all;
+        break;
+      case Op::kLoad:
+      case Op::kStore:
+        ++stats.refs_all;
+        ++stats.refs_data;
+        if (e.op == Op::kStore) ++stats.stores;
+        if (AddressMap::is_shared_data(e.addr)) {
+          ++stats.refs_shared;
+          if (e.op == Op::kStore) ++stats.shared_stores;
+        }
+        break;
+      case Op::kLockAcq:
+        if (!held.empty()) {
+          ++stats.nested_pairs;
+        } else {
+          locked_since = now;
+        }
+        held.push_back(Held{e.addr, now});
+        break;
+      case Op::kBarrier:
+        ++stats.barriers;
+        break;
+      case Op::kLockRel: {
+        // Releases match the most recent acquire of the same lock.
+        auto it = std::find_if(held.rbegin(), held.rend(),
+                               [&](const Held& h) { return h.addr == e.addr; });
+        SYNCPAT_ASSERT_MSG(it != held.rend(),
+                           "trace releases a lock it does not hold");
+        stats.pair_hold_cycles += now - it->acquired_at;
+        held.erase(std::next(it).base());
+        ++stats.lock_pairs;
+        if (held.empty()) stats.held_cycles += now - locked_since;
+        break;
+      }
+    }
+  }
+  stats.work_cycles = now;
+  SYNCPAT_ASSERT_MSG(held.empty(), "trace ends while holding a lock");
+  return stats;
+}
+
+IdealProgramStats analyze_program(ProgramTrace& program) {
+  IdealProgramStats stats;
+  stats.name = program.name;
+  stats.num_procs = static_cast<std::uint32_t>(program.num_procs());
+  program.reset_all();
+  for (auto& source : program.per_proc) {
+    stats.per_proc.push_back(analyze_proc(*source));
+  }
+  program.reset_all();
+  return stats;
+}
+
+}  // namespace syncpat::trace

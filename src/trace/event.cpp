@@ -1,0 +1,25 @@
+#include "trace/event.hpp"
+
+#include <cstdio>
+
+namespace syncpat::trace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kIFetch: return "ifetch";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kLockAcq: return "lock";
+    case Op::kLockRel: return "unlock";
+    case Op::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+std::string to_string(const Event& e) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "+%u %s 0x%08x", e.gap, op_name(e.op), e.addr);
+  return buf;
+}
+
+}  // namespace syncpat::trace

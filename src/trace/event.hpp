@@ -1,0 +1,58 @@
+// Trace event model.
+//
+// A program trace, in the style of an expanded MPTrace file (paper §2.1), is
+// one stream of events per processor.  Each event carries the number of
+// processor "work" cycles attributed to execution since the previous event
+// (`gap`, which includes the referencing instruction's own execution time,
+// assuming no wait states), the operation, and the 32-bit physical address.
+//
+// Lock spinning is never present in a trace: as in MPTrace, only the actual
+// lock acquire/release operations appear, and the simulator's lock scheme
+// decides what spinning costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace syncpat::trace {
+
+enum class Op : std::uint8_t {
+  kIFetch = 0,   // instruction fetch
+  kLoad = 1,     // data read
+  kStore = 2,    // data write
+  kLockAcq = 3,  // lock acquire; addr identifies the lock
+  kLockRel = 4,  // lock release; addr identifies the lock
+  kBarrier = 5,  // barrier arrival; addr identifies the barrier.  Every
+                 // processor's trace must contain the same barrier sequence.
+};
+
+[[nodiscard]] constexpr bool is_memory_ref(Op op) {
+  return op == Op::kIFetch || op == Op::kLoad || op == Op::kStore;
+}
+
+[[nodiscard]] constexpr bool is_data_ref(Op op) {
+  return op == Op::kLoad || op == Op::kStore;
+}
+
+[[nodiscard]] constexpr bool is_lock_op(Op op) {
+  return op == Op::kLockAcq || op == Op::kLockRel;
+}
+
+/// Operations that are synchronization points (weak-ordering fences).
+[[nodiscard]] constexpr bool is_sync_op(Op op) {
+  return is_lock_op(op) || op == Op::kBarrier;
+}
+
+[[nodiscard]] const char* op_name(Op op);
+
+struct Event {
+  std::uint32_t addr = 0;  // byte address (or lock address for lock ops)
+  std::uint32_t gap = 0;   // work cycles executed since the previous event
+  Op op = Op::kIFetch;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Event& e);
+
+}  // namespace syncpat::trace

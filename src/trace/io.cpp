@@ -1,0 +1,127 @@
+#include "trace/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+
+namespace syncpat::trace {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'S', 'P', 'T', 'R'};
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.write(buf, sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  in.read(buf, sizeof(T));
+  if (!in) throw TraceIoError("trace file truncated");
+  T value;
+  std::memcpy(&value, buf, sizeof(T));
+  return value;
+}
+
+void put_event(std::ostream& out, const Event& e) {
+  put<std::uint32_t>(out, e.addr);
+  put<std::uint32_t>(out, e.gap);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(e.op));
+}
+
+Event get_event(std::istream& in) {
+  Event e;
+  e.addr = get<std::uint32_t>(in);
+  e.gap = get<std::uint32_t>(in);
+  const auto op = get<std::uint8_t>(in);
+  if (op > static_cast<std::uint8_t>(Op::kBarrier)) {
+    throw TraceIoError("trace file contains invalid opcode");
+  }
+  e.op = static_cast<Op>(op);
+  return e;
+}
+
+}  // namespace
+
+void write_program_trace(std::ostream& out, const std::string& name,
+                         std::vector<TraceSource*> per_proc) {
+  out.write(kMagic.data(), kMagic.size());
+  put<std::uint32_t>(out, kTraceFormatVersion);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(per_proc.size()));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+
+  for (TraceSource* source : per_proc) {
+    // Two passes would require a second reset; instead buffer the count by
+    // draining into a local vector per processor.  Trace files are a tool
+    // and test artifact, so the memory cost is acceptable here (the hot
+    // simulation path never goes through files).
+    std::vector<Event> events;
+    Event e;
+    while (source->next(e)) events.push_back(e);
+    put<std::uint64_t>(out, events.size());
+    for (const Event& ev : events) put_event(out, ev);
+  }
+  if (!out) throw TraceIoError("trace file write failed");
+}
+
+void write_program_trace(std::ostream& out, ProgramTrace& program) {
+  program.reset_all();
+  std::vector<TraceSource*> raw;
+  raw.reserve(program.per_proc.size());
+  for (auto& s : program.per_proc) raw.push_back(s.get());
+  write_program_trace(out, program.name, std::move(raw));
+}
+
+ProgramTrace read_program_trace(std::istream& in) {
+  std::array<char, 4> magic;
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) throw TraceIoError("not a syncpat trace file");
+  const auto version = get<std::uint32_t>(in);
+  if (version != kTraceFormatVersion) {
+    throw TraceIoError("unsupported trace file version " +
+                       std::to_string(version));
+  }
+  const auto nprocs = get<std::uint32_t>(in);
+  if (nprocs == 0 || nprocs > 4096) {
+    throw TraceIoError("implausible processor count in trace file");
+  }
+  const auto name_len = get<std::uint32_t>(in);
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  if (!in) throw TraceIoError("trace file truncated in name");
+
+  ProgramTrace program;
+  program.name = std::move(name);
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    const auto count = get<std::uint64_t>(in);
+    std::vector<Event> events;
+    events.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) events.push_back(get_event(in));
+    program.per_proc.push_back(
+        std::make_unique<VectorTraceSource>(std::move(events)));
+  }
+  return program;
+}
+
+void save_program_trace(const std::string& path, ProgramTrace& program) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw TraceIoError("cannot open " + path + " for writing");
+  write_program_trace(out, program);
+}
+
+ProgramTrace load_program_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceIoError("cannot open " + path);
+  return read_program_trace(in);
+}
+
+}  // namespace syncpat::trace

@@ -1,0 +1,47 @@
+// Binary trace file format (the "expanded" full-reference form, §2.1).
+//
+// Layout (little-endian):
+//   magic   "SPTR"            4 bytes
+//   version u32               currently 1
+//   nprocs  u32
+//   name    u32 length + bytes
+//   per processor: count u64, then `count` packed events
+//     event: addr u32, gap u32, op u8
+//
+// Readers validate the header and fail loudly on truncation; a trace file is
+// measurement input and silent corruption would invalidate every table
+// derived from it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/source.hpp"
+
+namespace syncpat::trace {
+
+class TraceIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// Writes a full program trace.  Sources are drained (and left at EOF).
+void write_program_trace(std::ostream& out, const std::string& name,
+                         std::vector<TraceSource*> per_proc);
+
+/// Convenience overload draining a ProgramTrace (sources are reset first).
+void write_program_trace(std::ostream& out, ProgramTrace& program);
+
+/// Reads a full program trace into vector-backed sources.
+[[nodiscard]] ProgramTrace read_program_trace(std::istream& in);
+
+/// File-path convenience wrappers.
+void save_program_trace(const std::string& path, ProgramTrace& program);
+[[nodiscard]] ProgramTrace load_program_trace(const std::string& path);
+
+}  // namespace syncpat::trace

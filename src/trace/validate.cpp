@@ -1,0 +1,116 @@
+#include "trace/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "trace/address_map.hpp"
+
+namespace syncpat::trace {
+
+std::string ValidationReport::to_string(std::size_t max_errors) const {
+  std::ostringstream out;
+  out << (ok() ? "trace OK" : "trace INVALID") << ": " << events_checked
+      << " events, " << errors.size() << " errors, " << zero_gap_events
+      << " zero-gap events\n";
+  for (std::size_t i = 0; i < errors.size() && i < max_errors; ++i) {
+    const ValidationIssue& e = errors[i];
+    out << "  proc " << e.proc << " event " << e.event_index << ": "
+        << e.message << '\n';
+  }
+  if (errors.size() > max_errors) {
+    out << "  ... and " << errors.size() - max_errors << " more\n";
+  }
+  return out.str();
+}
+
+ValidationReport validate_program(ProgramTrace& program) {
+  ValidationReport report;
+  program.reset_all();
+
+  std::vector<std::vector<std::uint32_t>> barrier_seq(program.num_procs());
+
+  for (std::uint32_t p = 0; p < program.num_procs(); ++p) {
+    TraceSource& source = *program.per_proc[p];
+    std::vector<std::uint32_t> held;  // lock addresses
+    Event e;
+    std::uint64_t index = 0;
+
+    auto error = [&](std::string message) {
+      report.errors.push_back(ValidationIssue{p, index, std::move(message)});
+    };
+
+    while (source.next(e)) {
+      ++report.events_checked;
+      if (e.gap == 0) ++report.zero_gap_events;
+      const Region region = AddressMap::classify(e.addr);
+      switch (e.op) {
+        case Op::kIFetch:
+          if (region != Region::kCode) {
+            error("instruction fetch outside the code region");
+          }
+          break;
+        case Op::kLoad:
+        case Op::kStore:
+          if (region == Region::kLock) {
+            error("data reference into the lock region");
+          } else if (region == Region::kPrivate &&
+                     AddressMap::private_owner(e.addr) != p) {
+            error("private reference into another processor's segment");
+          }
+          break;
+        case Op::kLockAcq:
+          if (region != Region::kLock) {
+            error("lock acquire with a non-lock address");
+            break;
+          }
+          if (std::find(held.begin(), held.end(), e.addr) != held.end()) {
+            error("re-acquire of a lock already held (locks are "
+                  "non-reentrant; this deadlocks the simulation)");
+          }
+          held.push_back(e.addr);
+          break;
+        case Op::kLockRel: {
+          if (region != Region::kLock) {
+            error("lock release with a non-lock address");
+            break;
+          }
+          const auto it = std::find(held.rbegin(), held.rend(), e.addr);
+          if (it == held.rend()) {
+            error("release of a lock that is not held");
+          } else {
+            held.erase(std::next(it).base());
+          }
+          break;
+        }
+        case Op::kBarrier:
+          if (region != Region::kLock) {
+            error("barrier with a non-lock address");
+            break;
+          }
+          barrier_seq[p].push_back(e.addr);
+          break;
+      }
+      ++index;
+    }
+    if (!held.empty()) {
+      error("trace ends holding " + std::to_string(held.size()) + " lock(s)");
+    }
+  }
+
+  // Barrier sequences must agree across processors.
+  for (std::uint32_t p = 1; p < program.num_procs(); ++p) {
+    if (barrier_seq[p] != barrier_seq[0]) {
+      report.errors.push_back(ValidationIssue{
+          p, 0,
+          "barrier sequence differs from processor 0 (" +
+              std::to_string(barrier_seq[p].size()) + " vs " +
+              std::to_string(barrier_seq[0].size()) +
+              " arrivals); simulation would deadlock"});
+    }
+  }
+
+  program.reset_all();
+  return report;
+}
+
+}  // namespace syncpat::trace

@@ -1,0 +1,44 @@
+// Trace well-formedness validation.
+//
+// The simulator asserts hard on malformed traces (a corrupted measurement
+// input must never produce plausible numbers); this validator gives tools
+// and file-loading paths a way to diagnose problems up front with readable
+// errors instead.  Checks:
+//   * lock releases match a held acquire (per processor, same lock);
+//   * no locks are held at end of trace;
+//   * lock/barrier operations carry lock-region addresses, instruction
+//     fetches code-region addresses, and data references anything else;
+//   * private-region data references belong to the issuing processor;
+//   * every processor performs the same barrier sequence (a mismatch would
+//     deadlock the simulation);
+//   * zero-gap events are counted (legal, but a sign of unusual traces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/source.hpp"
+
+namespace syncpat::trace {
+
+struct ValidationIssue {
+  std::uint32_t proc = 0;
+  std::uint64_t event_index = 0;
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> errors;
+  std::uint64_t zero_gap_events = 0;
+  std::uint64_t events_checked = 0;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  /// Human-readable summary (one line per error, capped).
+  [[nodiscard]] std::string to_string(std::size_t max_errors = 10) const;
+};
+
+/// Validates every processor's stream.  Sources are reset before and after.
+[[nodiscard]] ValidationReport validate_program(ProgramTrace& program);
+
+}  // namespace syncpat::trace

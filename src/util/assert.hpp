@@ -1,0 +1,29 @@
+// Lightweight always-on assertion macro for simulator invariants.
+//
+// The simulator is a measurement instrument: a silently-corrupted state
+// machine produces plausible-looking but wrong numbers, so invariant checks
+// stay enabled in release builds.  The cost is negligible next to the
+// per-cycle work of the engine.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace syncpat::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "syncpat assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace syncpat::util
+
+#define SYNCPAT_ASSERT(expr)                                                     \
+  ((expr) ? static_cast<void>(0)                                                 \
+          : ::syncpat::util::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define SYNCPAT_ASSERT_MSG(expr, msg)                                            \
+  ((expr) ? static_cast<void>(0)                                                 \
+          : ::syncpat::util::assert_fail(#expr, __FILE__, __LINE__, (msg)))

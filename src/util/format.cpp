@@ -1,0 +1,45 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace syncpat::util {
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string with_commas(std::int64_t value) {
+  if (value < 0) return "-" + with_commas(static_cast<std::uint64_t>(-value));
+  return with_commas(static_cast<std::uint64_t>(value));
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string percent(double fraction, int decimals) {
+  return fixed(fraction * 100.0, decimals);
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace syncpat::util

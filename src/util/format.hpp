@@ -1,0 +1,23 @@
+// Number formatting helpers for paper-style tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace syncpat::util {
+
+/// 1234567 -> "1,234,567"
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+[[nodiscard]] std::string with_commas(std::int64_t value);
+
+/// Fixed-point with the given number of decimals: (3.14159, 2) -> "3.14".
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Percentage with the given decimals: (0.325, 1) -> "32.5".
+[[nodiscard]] std::string percent(double fraction, int decimals);
+
+/// Left/right padding to a column width.
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace syncpat::util

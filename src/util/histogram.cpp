@@ -1,0 +1,64 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace syncpat::util {
+
+void Histogram::add(std::uint64_t value) {
+  std::size_t bucket = 0;
+  if (value > 0) {
+    bucket = static_cast<std::size_t>(std::bit_width(value));
+    bucket = std::min(bucket, kBuckets - 1);
+  }
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t i) {
+  if (i == 0) return 0;
+  return 1ULL << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t i) {
+  if (i == 0) return 0;
+  return (1ULL << i) - 1;
+}
+
+std::uint64_t Histogram::quantile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return bucket_hi(i);
+  }
+  return bucket_hi(kBuckets - 1);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream out;
+  std::uint64_t peak = 0;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const int bar =
+        peak > 0 ? static_cast<int>(40 * buckets_[i] / peak) : 0;
+    out << '[' << bucket_lo(i) << ", " << bucket_hi(i) << "]: " << buckets_[i]
+        << ' ' << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  return out.str();
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace syncpat::util

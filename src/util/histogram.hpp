@@ -1,0 +1,45 @@
+// Simple log2-bucketed histogram for latency distributions (lock transfer
+// times, miss penalties).  Buckets: [0], [1], [2,3], [4,7], ... up to 2^31.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace syncpat::util {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 33;  // bucket 0 holds value 0
+
+  void add(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_.at(i);
+  }
+  /// Inclusive lower bound of bucket i.
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t i);
+  /// Inclusive upper bound of bucket i.
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t i);
+
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// Approximate p-quantile (bucket upper bound containing the quantile).
+  [[nodiscard]] std::uint64_t quantile(double p) const;
+
+  /// Multi-line ASCII rendering, for diagnostic dumps.
+  [[nodiscard]] std::string to_string() const;
+
+  void merge(const Histogram& other);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace syncpat::util

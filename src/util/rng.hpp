@@ -1,0 +1,128 @@
+// Deterministic, seedable random number generation for workload synthesis.
+//
+// Trace generation must be exactly reproducible across runs and platforms, so
+// we avoid std::mt19937 + std::*_distribution (whose outputs are not pinned by
+// the standard for all distributions) and implement xoshiro256** with our own
+// distribution helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace syncpat::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a fast high-quality 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    SYNCPAT_ASSERT(bound > 0);
+    // Rejection-free fast path is fine for simulation workloads; bias from the
+    // plain multiply-shift is < 2^-64 * bound which is irrelevant here, but we
+    // reject anyway to keep the generator exactly uniform.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    SYNCPAT_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Geometric number of failures before success; mean = (1-p)/p.
+  std::uint64_t geometric(double p) {
+    SYNCPAT_ASSERT(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    const double u = uniform();
+    return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+  }
+
+  /// Exponential with the given mean, rounded to an integer cycle count.
+  std::uint64_t exponential_cycles(double mean) {
+    SYNCPAT_ASSERT(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    const double u = uniform();
+    return static_cast<std::uint64_t>(-mean * std::log1p(-u));
+  }
+
+  /// Pick an index weighted by `weights` (need not be normalized).
+  std::size_t weighted_pick(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    SYNCPAT_ASSERT(total > 0.0);
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace syncpat::util

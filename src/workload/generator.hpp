@@ -1,0 +1,64 @@
+// Statistical trace generator: a streaming TraceSource synthesized from a
+// BenchmarkProfile.
+//
+// The generator is deterministic (seeded per processor), streams events one
+// at a time (paper-scale traces are never materialized), and is calibrated
+// so the ideal analyzer recovers the profile's Table 1/2 targets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "trace/source.hpp"
+#include "util/rng.hpp"
+#include "workload/profile.hpp"
+
+namespace syncpat::workload {
+
+class ProfileTraceSource final : public trace::TraceSource {
+ public:
+  ProfileTraceSource(const BenchmarkProfile& profile, std::uint32_t proc);
+
+  bool next(trace::Event& out) override;
+  void reset() override;
+
+ private:
+  void synthesize();                    // refills staged_ with >= 1 event
+  void emit_normal_ref();
+  void emit_critical_section();
+  [[nodiscard]] std::uint32_t next_gap();
+  [[nodiscard]] trace::Event make_data_ref(bool force_shared);
+  [[nodiscard]] trace::Event make_cs_data_ref(std::uint32_t lock_addr);
+  [[nodiscard]] trace::Event make_ifetch();
+  [[nodiscard]] std::uint32_t pick_lock();
+  [[nodiscard]] bool in_burst_window() const;
+  void maybe_emit_barrier();
+
+  BenchmarkProfile profile_;
+  std::uint32_t proc_;
+  util::Rng rng_;
+
+  std::deque<trace::Event> staged_;
+  std::uint64_t refs_emitted_ = 0;   // memory references only (Table 1 "All")
+
+  // Derived rates (see .cpp).
+  double cs_probability_ = 0.0;      // per normal ref: start a critical section
+  double burst_probability_ = 0.0;   // same, inside the burst window
+  double nested_probability_ = 0.0;  // per outer CS: contains an inner pair
+  std::uint64_t outer_target_ = 0;
+  std::uint64_t outer_emitted_ = 0;
+  std::uint64_t burst_window_refs_ = 0;
+  std::uint64_t barriers_emitted_ = 0;
+  std::uint64_t barrier_interval_ = 0;
+
+  // Locality state.
+  std::uint32_t pc_ = 0;             // instruction pointer within code region
+  std::uint32_t last_shared_line_ = 0;
+  std::uint32_t cold_pos_ = 0;
+  std::uint32_t last_cold_addr_ = 0;
+};
+
+/// Builds a full program trace (one generator per processor).
+[[nodiscard]] trace::ProgramTrace make_program_trace(const BenchmarkProfile& profile);
+
+}  // namespace syncpat::workload

@@ -1,0 +1,124 @@
+#include "workload/kernels/annealing.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/vm.hpp"
+
+namespace syncpat::workload {
+namespace {
+
+class AnnealingKernel {
+ public:
+  explicit AnnealingKernel(const AnnealingParams& params)
+      : params_(params),
+        vm_("Anneal-kernel", params.num_threads),
+        rng_(params.seed),
+        cells_(static_cast<std::size_t>(params.grid_side) * params.grid_side) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i] = static_cast<std::int32_t>(rng_.below(1024));
+    }
+    grid_base_ = vm_.alloc_shared(
+        static_cast<std::uint32_t>(cells_.size()) * 4, 16);
+    state_base_ = vm_.alloc_shared(64, 16);
+    state_lock_ = vm_.alloc_lock();
+  }
+
+  trace::ProgramTrace run() {
+    // Threads interleave move-by-move (the host serialization is one legal
+    // schedule; the simulator re-times it).
+    std::vector<double> temp(params_.num_threads, params_.initial_temp);
+    for (std::uint32_t m = 0; m < params_.moves_per_thread; ++m) {
+      for (std::uint32_t t = 0; t < params_.num_threads; ++t) {
+        propose_move(t, temp[t]);
+        if ((m + 1) % params_.moves_per_sync == 0) {
+          sync_global(t);
+          temp[t] *= params_.cooling;
+        }
+      }
+    }
+    return vm_.take_trace();
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t cell_addr(std::size_t i) const {
+    return grid_base_ + static_cast<std::uint32_t>(i) * 4;
+  }
+  [[nodiscard]] std::size_t idx(std::uint32_t x, std::uint32_t y) const {
+    return static_cast<std::size_t>(y) * params_.grid_side + x;
+  }
+
+  // Cost of a cell: squared difference with its 4-neighbourhood (a
+  // wire-length stand-in); each term loads a neighbour.
+  double cell_cost(std::uint32_t t, std::uint32_t x, std::uint32_t y) {
+    const std::int32_t v = cells_[idx(x, y)];
+    vm_.load(t, cell_addr(idx(x, y)));
+    double cost = 0.0;
+    const std::int32_t dx[4] = {1, -1, 0, 0};
+    const std::int32_t dy[4] = {0, 0, 1, -1};
+    for (int k = 0; k < 4; ++k) {
+      const std::int64_t nx = static_cast<std::int64_t>(x) + dx[k];
+      const std::int64_t ny = static_cast<std::int64_t>(y) + dy[k];
+      if (nx < 0 || ny < 0 || nx >= params_.grid_side || ny >= params_.grid_side)
+        continue;
+      const std::size_t ni =
+          idx(static_cast<std::uint32_t>(nx), static_cast<std::uint32_t>(ny));
+      vm_.load(t, cell_addr(ni));
+      const double d = static_cast<double>(v - cells_[ni]);
+      cost += d * d;
+      vm_.compute(t, 2);
+    }
+    return cost;
+  }
+
+  void propose_move(std::uint32_t t, double temp) {
+    const auto x1 = static_cast<std::uint32_t>(rng_.below(params_.grid_side));
+    const auto y1 = static_cast<std::uint32_t>(rng_.below(params_.grid_side));
+    const auto x2 = static_cast<std::uint32_t>(rng_.below(params_.grid_side));
+    const auto y2 = static_cast<std::uint32_t>(rng_.below(params_.grid_side));
+    if (x1 == x2 && y1 == y2) return;
+
+    const double before = cell_cost(t, x1, y1) + cell_cost(t, x2, y2);
+    std::swap(cells_[idx(x1, y1)], cells_[idx(x2, y2)]);
+    const double after = cell_cost(t, x1, y1) + cell_cost(t, x2, y2);
+    vm_.compute(t, 8);  // Metropolis evaluation
+
+    const double delta = after - before;
+    const bool accept =
+        delta <= 0.0 || rng_.uniform() < std::exp(-delta / std::max(temp, 1e-6));
+    if (accept) {
+      vm_.store(t, cell_addr(idx(x1, y1)));
+      vm_.store(t, cell_addr(idx(x2, y2)));
+      ++accepted_;
+    } else {
+      std::swap(cells_[idx(x1, y1)], cells_[idx(x2, y2)]);  // revert
+    }
+  }
+
+  void sync_global(std::uint32_t t) {
+    vm_.lock(t, state_lock_);
+    vm_.load(t, state_base_);       // accepted counter
+    vm_.load(t, state_base_ + 8);   // temperature
+    vm_.compute(t, 4);
+    vm_.store(t, state_base_);
+    vm_.unlock(t, state_lock_);
+  }
+
+  AnnealingParams params_;
+  VirtualProgram vm_;
+  util::Rng rng_;
+  std::vector<std::int32_t> cells_;
+  std::uint64_t accepted_ = 0;
+  std::uint32_t grid_base_ = 0;
+  std::uint32_t state_base_ = 0;
+  std::uint32_t state_lock_ = 0;
+};
+
+}  // namespace
+
+trace::ProgramTrace annealing_trace(const AnnealingParams& params) {
+  return AnnealingKernel(params).run();
+}
+
+}  // namespace syncpat::workload

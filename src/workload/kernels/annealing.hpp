@@ -1,0 +1,29 @@
+// Simulated-annealing placement trace kernel (the paper's Pdsa and Topopt
+// benchmarks are both annealing-based placement/compaction tools, [18]).
+//
+// A real annealing loop runs against the modeled address space: a shared
+// placement grid of cells with a wire-length-style cost, per-thread swap
+// proposals with Metropolis acceptance, and a lock-protected global state
+// (temperature, acceptance counters) touched every few moves — the frequent
+// short critical sections that characterize Pdsa's lock behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/source.hpp"
+
+namespace syncpat::workload {
+
+struct AnnealingParams {
+  std::uint32_t num_threads = 12;
+  std::uint32_t grid_side = 64;       // grid_side^2 cells
+  std::uint32_t moves_per_thread = 2000;
+  std::uint32_t moves_per_sync = 8;   // moves between global-state updates
+  double initial_temp = 4.0;
+  double cooling = 0.95;
+  std::uint64_t seed = 0xa11e;
+};
+
+[[nodiscard]] trace::ProgramTrace annealing_trace(const AnnealingParams& params);
+
+}  // namespace syncpat::workload

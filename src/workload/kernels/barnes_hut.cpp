@@ -1,0 +1,229 @@
+#include "workload/kernels/barnes_hut.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "workload/vm.hpp"
+
+namespace syncpat::workload {
+namespace {
+
+struct Body {
+  double x, y, mass;
+  double ax = 0.0, ay = 0.0;
+};
+
+struct Node {
+  double cx, cy, half;       // square cell
+  double mx = 0.0, my = 0.0, mass = 0.0;  // center of mass
+  std::int32_t child[4] = {-1, -1, -1, -1};
+  std::int32_t body = -1;    // leaf payload
+  bool leaf = true;
+};
+
+class BarnesHutKernel {
+ public:
+  explicit BarnesHutKernel(const BarnesHutParams& params)
+      : params_(params), vm_("Grav-kernel", params.num_threads) {
+    util::Rng rng(params.seed);
+    bodies_.resize(params.num_bodies);
+    for (auto& b : bodies_) {
+      b.x = rng.uniform();
+      b.y = rng.uniform();
+      b.mass = 0.5 + rng.uniform();
+    }
+    bodies_base_ = vm_.alloc_shared(params.num_bodies * 40, 16);
+    nodes_base_ = vm_.alloc_shared(params.num_bodies * 4 * 48, 16);
+    queue_base_ = vm_.alloc_shared(256, 16);
+    scheduler_lock_ = vm_.alloc_lock();
+    queue_lock_ = vm_.alloc_lock();
+  }
+
+  trace::ProgramTrace run() {
+    for (std::uint32_t step = 0; step < params_.timesteps; ++step) {
+      build_tree();        // thread 0; the others wait at the phase barrier
+      vm_.barrier_all(0);
+      force_phase();
+      vm_.barrier_all(0);
+      integrate();
+      vm_.barrier_all(0);
+    }
+    return vm_.take_trace();
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t body_addr(std::size_t i, std::uint32_t field) const {
+    return bodies_base_ + static_cast<std::uint32_t>(i) * 40 + field * 8;
+  }
+  [[nodiscard]] std::uint32_t node_addr(std::size_t i, std::uint32_t field) const {
+    return nodes_base_ + static_cast<std::uint32_t>(i) * 48 + field * 8;
+  }
+
+  void build_tree() {
+    nodes_.clear();
+    nodes_.push_back(Node{0.5, 0.5, 0.5});
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      vm_.load(0, body_addr(i, 0));
+      vm_.load(0, body_addr(i, 1));
+      insert(0, static_cast<std::int32_t>(i));
+    }
+    summarize(0);
+  }
+
+  void insert(std::size_t node_idx, std::int32_t body_idx) {
+    Node& node = nodes_[node_idx];
+    vm_.load(0, node_addr(node_idx, 0));
+    if (node.leaf && node.body < 0) {
+      node.body = body_idx;
+      vm_.store(0, node_addr(node_idx, 5));
+      return;
+    }
+    if (node.leaf) {
+      // Split: push the resident body down.
+      const std::int32_t old = node.body;
+      node.leaf = false;
+      node.body = -1;
+      vm_.store(0, node_addr(node_idx, 5));
+      place_child(node_idx, old);
+    }
+    place_child(node_idx, body_idx);
+  }
+
+  void place_child(std::size_t node_idx, std::int32_t body_idx) {
+    const Body& b = bodies_[static_cast<std::size_t>(body_idx)];
+    Node node = nodes_[node_idx];  // copy: nodes_ may reallocate below
+    const int q = (b.x >= node.cx ? 1 : 0) + (b.y >= node.cy ? 2 : 0);
+    if (node.child[q] < 0) {
+      Node child;
+      child.half = node.half / 2;
+      child.cx = node.cx + (q & 1 ? child.half : -child.half);
+      child.cy = node.cy + (q & 2 ? child.half : -child.half);
+      nodes_.push_back(child);
+      nodes_[node_idx].child[q] = static_cast<std::int32_t>(nodes_.size() - 1);
+      vm_.store(0, node_addr(node_idx, q % 6));
+    }
+    insert(static_cast<std::size_t>(nodes_[node_idx].child[q]), body_idx);
+  }
+
+  void summarize(std::size_t node_idx) {
+    Node& node = nodes_[node_idx];
+    if (node.leaf) {
+      if (node.body >= 0) {
+        const Body& b = bodies_[static_cast<std::size_t>(node.body)];
+        node.mass = b.mass;
+        node.mx = b.x;
+        node.my = b.y;
+      }
+      vm_.store(0, node_addr(node_idx, 2));
+      return;
+    }
+    double mass = 0.0, mx = 0.0, my = 0.0;
+    for (const std::int32_t c : node.child) {
+      if (c < 0) continue;
+      summarize(static_cast<std::size_t>(c));
+      const Node& cn = nodes_[static_cast<std::size_t>(c)];
+      mass += cn.mass;
+      mx += cn.mx * cn.mass;
+      my += cn.my * cn.mass;
+    }
+    node.mass = mass;
+    if (mass > 0.0) {
+      node.mx = mx / mass;
+      node.my = my / mass;
+    }
+    vm_.store(0, node_addr(node_idx, 2));
+    vm_.store(0, node_addr(node_idx, 3));
+  }
+
+  // Presto-style self-scheduling force phase with the nested lock pattern.
+  void force_phase() {
+    std::uint32_t next = 0;
+    std::uint32_t t = 0;
+    while (next < bodies_.size()) {
+      // Scheduler lock (outer), thread-queue lock (inner, nested).
+      vm_.lock(t, scheduler_lock_);
+      vm_.load(t, queue_base_);
+      vm_.lock(t, queue_lock_);
+      vm_.load(t, queue_base_ + 8);
+      const std::uint32_t lo = next;
+      const std::uint32_t hi =
+          std::min<std::uint32_t>(next + params_.chunk,
+                                  static_cast<std::uint32_t>(bodies_.size()));
+      next = hi;
+      vm_.store(t, queue_base_ + 8);
+      vm_.unlock(t, queue_lock_);
+      vm_.store(t, queue_base_);
+      vm_.unlock(t, scheduler_lock_);
+
+      for (std::uint32_t i = lo; i < hi; ++i) compute_force(t, i);
+      t = (t + 1) % params_.num_threads;
+    }
+  }
+
+  void compute_force(std::uint32_t t, std::uint32_t body_idx) {
+    Body& b = bodies_[body_idx];
+    vm_.load(t, body_addr(body_idx, 0));
+    vm_.load(t, body_addr(body_idx, 1));
+    b.ax = b.ay = 0.0;
+    traverse(t, 0, b);
+    vm_.store(t, body_addr(body_idx, 3));
+    vm_.store(t, body_addr(body_idx, 4));
+  }
+
+  void traverse(std::uint32_t t, std::size_t node_idx, Body& b) {
+    const Node& node = nodes_[node_idx];
+    vm_.load(t, node_addr(node_idx, 0));
+    vm_.load(t, node_addr(node_idx, 2));
+    if (node.mass <= 0.0) return;
+    const double dx = node.mx - b.x;
+    const double dy = node.my - b.y;
+    const double dist2 = dx * dx + dy * dy + 1e-9;
+    vm_.compute(t, 6);  // distance computation
+    if (node.leaf || (node.half * 2) * (node.half * 2) < params_.theta *
+                                                             params_.theta *
+                                                             dist2) {
+      const double inv = node.mass / (dist2 * std::sqrt(dist2));
+      b.ax += dx * inv;
+      b.ay += dy * inv;
+      vm_.compute(t, 10);  // force kernel
+      return;
+    }
+    for (const std::int32_t c : node.child) {
+      if (c >= 0) traverse(t, static_cast<std::size_t>(c), b);
+    }
+  }
+
+  void integrate() {
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      const std::uint32_t t =
+          static_cast<std::uint32_t>(i) % params_.num_threads;
+      Body& b = bodies_[i];
+      vm_.load(t, body_addr(i, 3));
+      vm_.load(t, body_addr(i, 4));
+      b.x += 1e-4 * b.ax;
+      b.y += 1e-4 * b.ay;
+      vm_.store(t, body_addr(i, 0));
+      vm_.store(t, body_addr(i, 1));
+    }
+  }
+
+  BarnesHutParams params_;
+  VirtualProgram vm_;
+  std::vector<Body> bodies_;
+  std::vector<Node> nodes_;
+  std::uint32_t bodies_base_ = 0;
+  std::uint32_t nodes_base_ = 0;
+  std::uint32_t queue_base_ = 0;
+  std::uint32_t scheduler_lock_ = 0;
+  std::uint32_t queue_lock_ = 0;
+};
+
+}  // namespace
+
+trace::ProgramTrace barnes_hut_trace(const BarnesHutParams& params) {
+  return BarnesHutKernel(params).run();
+}
+
+}  // namespace syncpat::workload

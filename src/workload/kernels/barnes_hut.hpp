@@ -1,0 +1,30 @@
+// Barnes-Hut N-body force-calculation trace kernel (the paper's Grav
+// benchmark, [11]).
+//
+// A real 2-D Barnes-Hut step runs against the modeled address space: a
+// quadtree is built over the bodies (serial, thread 0 — tree build is a
+// small fraction of a timestep), then the force phase distributes bodies
+// through a lock-protected shared work queue in the Presto scheduler style:
+// each thread repeatedly takes the scheduler lock, nests the queue lock to
+// dequeue a chunk (the paper's nested-lock pattern), releases both, and
+// traverses the tree computing accelerations.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/source.hpp"
+
+namespace syncpat::workload {
+
+struct BarnesHutParams {
+  std::uint32_t num_threads = 10;
+  std::uint32_t num_bodies = 2000;   // the paper traced 2000 stars
+  std::uint32_t timesteps = 1;
+  std::uint32_t chunk = 4;           // bodies dequeued per lock round trip
+  double theta = 0.5;                // opening angle
+  std::uint64_t seed = 0xba57;
+};
+
+[[nodiscard]] trace::ProgramTrace barnes_hut_trace(const BarnesHutParams& params);
+
+}  // namespace syncpat::workload

@@ -1,0 +1,154 @@
+#include "workload/kernels/qsort_kernel.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "workload/vm.hpp"
+
+namespace syncpat::workload {
+namespace {
+
+struct Range {
+  std::uint32_t lo, hi;  // element indices, [lo, hi)
+};
+
+class QsortKernel {
+ public:
+  explicit QsortKernel(const QsortParams& params)
+      : params_(params),
+        vm_("Qsort-kernel", params.num_threads),
+        values_(params.num_elements) {
+    util::Rng rng(params.seed);
+    for (auto& v : values_) v = static_cast<std::int64_t>(rng.next_u64() >> 16);
+    array_base_ = vm_.alloc_shared(params.num_elements * 4, 16);
+    stack_lock_ = vm_.alloc_lock();
+    // The work stack itself is shared data manipulated inside the lock.
+    stack_base_ = vm_.alloc_shared(4096, 16);
+    stack_.push_back(Range{0, params.num_elements});
+  }
+
+  trace::ProgramTrace run() {
+    // Round-robin: each thread repeatedly pops a range and processes it.
+    // idle_streak counts consecutive threads that found no work.
+    std::uint32_t idle_streak = 0;
+    std::uint32_t t = 0;
+    while (idle_streak < params_.num_threads) {
+      if (step(t)) {
+        idle_streak = 0;
+      } else {
+        ++idle_streak;
+      }
+      t = (t + 1) % params_.num_threads;
+    }
+    SYNCPAT_ASSERT_MSG(std::is_sorted(values_.begin(), values_.end()),
+                       "parallel quicksort produced an unsorted array");
+    return vm_.take_trace();
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t elem_addr(std::uint32_t i) const {
+    return array_base_ + i * 4;
+  }
+
+  // One unit of work for thread t: pop a range, partition or insertion-sort
+  // it, push the sub-ranges.  Returns false if the stack was empty.
+  bool step(std::uint32_t t) {
+    vm_.lock(t, stack_lock_);
+    vm_.load(t, stack_base_);  // stack top pointer
+    if (stack_.empty()) {
+      vm_.unlock(t, stack_lock_);
+      vm_.instructions(t, 4);  // check-and-retry loop body
+      return false;
+    }
+    const Range r = stack_.back();
+    stack_.pop_back();
+    vm_.load(t, stack_base_ + 4 + (static_cast<std::uint32_t>(stack_.size()) % 64) * 8);
+    vm_.store(t, stack_base_);
+    vm_.unlock(t, stack_lock_);
+
+    if (r.hi - r.lo <= params_.insertion_cutoff) {
+      insertion_sort(t, r);
+      return true;
+    }
+    const std::uint32_t mid = partition(t, r);
+    push_range(t, Range{r.lo, mid});
+    push_range(t, Range{mid + 1, r.hi});
+    return true;
+  }
+
+  void push_range(std::uint32_t t, Range r) {
+    if (r.hi <= r.lo) return;
+    vm_.lock(t, stack_lock_);
+    vm_.load(t, stack_base_);
+    vm_.store(t, stack_base_ + 4 + (static_cast<std::uint32_t>(stack_.size()) % 64) * 8);
+    vm_.store(t, stack_base_);
+    stack_.push_back(r);
+    vm_.unlock(t, stack_lock_);
+  }
+
+  // Hoare-style partition around the median-of-three pivot; every compare
+  // loads an element, every swap stores two.
+  std::uint32_t partition(std::uint32_t t, Range r) {
+    const std::uint32_t pivot_idx = r.lo + (r.hi - r.lo) / 2;
+    vm_.load(t, elem_addr(r.lo));
+    vm_.load(t, elem_addr(pivot_idx));
+    vm_.load(t, elem_addr(r.hi - 1));
+    const std::int64_t pivot = values_[pivot_idx];
+    std::swap(values_[pivot_idx], values_[r.hi - 1]);
+    vm_.store(t, elem_addr(pivot_idx));
+    vm_.store(t, elem_addr(r.hi - 1));
+
+    std::uint32_t store_idx = r.lo;
+    for (std::uint32_t i = r.lo; i + 1 < r.hi; ++i) {
+      vm_.load(t, elem_addr(i));
+      vm_.compute(t, 2);
+      if (values_[i] < pivot) {
+        std::swap(values_[i], values_[store_idx]);
+        vm_.store(t, elem_addr(i));
+        vm_.store(t, elem_addr(store_idx));
+        ++store_idx;
+      }
+    }
+    std::swap(values_[store_idx], values_[r.hi - 1]);
+    vm_.store(t, elem_addr(store_idx));
+    vm_.store(t, elem_addr(r.hi - 1));
+    return store_idx;
+  }
+
+  void insertion_sort(std::uint32_t t, Range r) {
+    for (std::uint32_t i = r.lo + 1; i < r.hi; ++i) {
+      vm_.load(t, elem_addr(i));
+      const std::int64_t key = values_[i];
+      std::uint32_t j = i;
+      while (j > r.lo) {
+        vm_.load(t, elem_addr(j - 1));
+        vm_.compute(t, 1);
+        if (values_[j - 1] <= key) break;
+        values_[j] = values_[j - 1];
+        vm_.store(t, elem_addr(j));
+        --j;
+      }
+      values_[j] = key;
+      vm_.store(t, elem_addr(j));
+    }
+  }
+
+  QsortParams params_;
+  VirtualProgram vm_;
+  std::vector<std::int64_t> values_;
+  std::vector<Range> stack_;
+  std::uint32_t array_base_ = 0;
+  std::uint32_t stack_base_ = 0;
+  std::uint32_t stack_lock_ = 0;
+};
+
+}  // namespace
+
+trace::ProgramTrace qsort_trace(const QsortParams& params) {
+  return QsortKernel(params).run();
+}
+
+}  // namespace syncpat::workload

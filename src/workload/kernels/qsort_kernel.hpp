@@ -1,0 +1,27 @@
+// Parallel quicksort trace kernel (the paper's Qsort benchmark, [13]).
+//
+// A real quicksort runs against the modeled address space: a shared array of
+// random integers, a lock-protected shared work stack of [lo, hi) ranges,
+// and per-thread insertion sort below a cutoff.  Threads are interleaved
+// round-robin, one work item at a time; every array element touched, every
+// stack manipulation, and every lock operation is recorded.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/source.hpp"
+
+namespace syncpat::workload {
+
+struct QsortParams {
+  std::uint32_t num_threads = 12;
+  std::uint32_t num_elements = 100'000;
+  std::uint32_t insertion_cutoff = 32;
+  std::uint64_t seed = 0x50b7;
+};
+
+/// Runs the sort and returns the recorded trace.  The sort is verified
+/// internally (the kernel aborts if its output is not ordered).
+[[nodiscard]] trace::ProgramTrace qsort_trace(const QsortParams& params);
+
+}  // namespace syncpat::workload

@@ -1,0 +1,16 @@
+#include "workload/profile.hpp"
+
+#include <algorithm>
+
+namespace syncpat::workload {
+
+BenchmarkProfile BenchmarkProfile::scaled(std::uint64_t factor) const {
+  BenchmarkProfile copy = *this;
+  if (factor <= 1) return copy;
+  copy.refs_per_proc = std::max<std::uint64_t>(1, refs_per_proc / factor);
+  copy.locking.pairs_per_proc = locking.pairs_per_proc / factor;
+  copy.locking.nested_per_proc = locking.nested_per_proc / factor;
+  return copy;
+}
+
+}  // namespace syncpat::workload

@@ -1,0 +1,26 @@
+// The six paper benchmarks as calibrated profiles (paper §2.3).
+//
+// Each profile's comments give the Table 1/2 targets it is calibrated
+// against; tests/test_workload_calibration.cpp checks that the ideal
+// analyzer recovers them from generated traces, and EXPERIMENTS.md compares
+// the resulting simulator outputs against Tables 3-8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/profile.hpp"
+
+namespace syncpat::workload {
+
+[[nodiscard]] BenchmarkProfile grav_profile();      // Barnes-Hut N-body (Presto)
+[[nodiscard]] BenchmarkProfile pdsa_profile();      // simulated annealing (Presto)
+[[nodiscard]] BenchmarkProfile fullconn_profile();  // Synapse distributed sim (Presto)
+[[nodiscard]] BenchmarkProfile pverify_profile();   // logic verification (C)
+[[nodiscard]] BenchmarkProfile qsort_profile();     // parallel quicksort (C)
+[[nodiscard]] BenchmarkProfile topopt_profile();    // MOS compaction (C)
+
+/// All six, in the paper's table order.
+[[nodiscard]] std::vector<BenchmarkProfile> paper_profiles();
+
+}  // namespace syncpat::workload

@@ -1,0 +1,125 @@
+#include "workload/vm.hpp"
+
+#include <memory>
+
+#include "trace/address_map.hpp"
+#include "util/assert.hpp"
+
+namespace syncpat::workload {
+
+using trace::AddressMap;
+using trace::Event;
+using trace::Op;
+
+namespace {
+constexpr std::uint32_t kCodeSpan = 32 * 1024;  // per-thread code footprint
+}
+
+VirtualProgram::VirtualProgram(std::string name, std::uint32_t num_threads)
+    : name_(std::move(name)), threads_(num_threads) {
+  SYNCPAT_ASSERT(num_threads > 0);
+  for (std::uint32_t t = 0; t < num_threads; ++t) {
+    // Threads execute the same program text; start them at slightly
+    // different points so instruction streams are realistic but overlap.
+    threads_[t].pc = (t * 256) % kCodeSpan;
+  }
+}
+
+std::uint32_t VirtualProgram::alloc_shared(std::uint32_t bytes,
+                                           std::uint32_t align) {
+  SYNCPAT_ASSERT(align > 0 && bytes > 0);
+  shared_cursor_ = (shared_cursor_ + align - 1) / align * align;
+  const std::uint32_t base = AddressMap::shared_addr(shared_cursor_);
+  shared_cursor_ += bytes;
+  return base;
+}
+
+std::uint32_t VirtualProgram::alloc_private(std::uint32_t thread,
+                                            std::uint32_t bytes,
+                                            std::uint32_t align) {
+  Thread& th = threads_[thread];
+  SYNCPAT_ASSERT(align > 0 && bytes > 0);
+  th.private_cursor = (th.private_cursor + align - 1) / align * align;
+  const std::uint32_t base = AddressMap::private_addr(thread, th.private_cursor);
+  th.private_cursor += bytes;
+  return base;
+}
+
+std::uint32_t VirtualProgram::alloc_lock() {
+  return AddressMap::lock_addr(lock_cursor_++);
+}
+
+void VirtualProgram::compute(std::uint32_t thread, std::uint32_t cycles) {
+  threads_[thread].pending_gap += cycles;
+}
+
+void VirtualProgram::emit(std::uint32_t thread, Op op, std::uint32_t addr) {
+  Thread& th = threads_[thread];
+  // Every event carries at least one cycle of execution.
+  const std::uint32_t gap = th.pending_gap > 0 ? th.pending_gap : 1;
+  th.pending_gap = 0;
+  th.events.push_back(Event{addr, gap, op});
+}
+
+void VirtualProgram::emit_ifetch(std::uint32_t thread) {
+  Thread& th = threads_[thread];
+  th.pc = (th.pc + 4) % kCodeSpan;
+  emit(thread, Op::kIFetch, AddressMap::code_addr(th.pc));
+}
+
+void VirtualProgram::load(std::uint32_t thread, std::uint32_t addr) {
+  emit_ifetch(thread);
+  compute(thread, 1);
+  emit(thread, Op::kLoad, addr);
+}
+
+void VirtualProgram::store(std::uint32_t thread, std::uint32_t addr) {
+  emit_ifetch(thread);
+  compute(thread, 1);
+  emit(thread, Op::kStore, addr);
+}
+
+void VirtualProgram::instructions(std::uint32_t thread, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    compute(thread, 1);
+    emit_ifetch(thread);
+  }
+}
+
+void VirtualProgram::lock(std::uint32_t thread, std::uint32_t lock_addr) {
+  SYNCPAT_ASSERT(AddressMap::classify(lock_addr) == trace::Region::kLock);
+  compute(thread, 2);
+  emit(thread, Op::kLockAcq, lock_addr);
+  ++threads_[thread].locks_held;
+}
+
+void VirtualProgram::unlock(std::uint32_t thread, std::uint32_t lock_addr) {
+  Thread& th = threads_[thread];
+  SYNCPAT_ASSERT_MSG(th.locks_held > 0, "unlock without a held lock");
+  compute(thread, 2);
+  emit(thread, Op::kLockRel, lock_addr);
+  --th.locks_held;
+}
+
+void VirtualProgram::barrier(std::uint32_t thread, std::uint32_t barrier_id) {
+  compute(thread, 2);
+  emit(thread, Op::kBarrier, AddressMap::barrier_addr(barrier_id));
+}
+
+void VirtualProgram::barrier_all(std::uint32_t barrier_id) {
+  for (std::uint32_t t = 0; t < threads_.size(); ++t) barrier(t, barrier_id);
+}
+
+trace::ProgramTrace VirtualProgram::take_trace() {
+  trace::ProgramTrace program;
+  program.name = name_;
+  for (Thread& th : threads_) {
+    SYNCPAT_ASSERT_MSG(th.locks_held == 0, "thread ends while holding a lock");
+    program.per_proc.push_back(
+        std::make_unique<trace::VectorTraceSource>(std::move(th.events)));
+    th.events.clear();
+  }
+  return program;
+}
+
+}  // namespace syncpat::workload

@@ -1,0 +1,84 @@
+// Instrumented virtual shared-memory program framework.
+//
+// The paper's traces were produced by MPTrace instrumenting real parallel
+// programs.  This framework is the analogous front end for our simulator: a
+// kernel (a real algorithm — quicksort, Barnes-Hut, annealing) executes
+// host-side against a modeled address space, and every load, store, lock and
+// unlock it performs is recorded into per-thread event streams, producing a
+// ProgramTrace whose addresses come from genuine data-structure layouts.
+//
+// Threads are interleaved by the kernel's own round-robin scheduler at
+// generation time; as with any trace-driven methodology the recorded
+// interleaving is one possible execution, and the simulator re-times it
+// (§2.1 discusses the same property of MPTrace).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/source.hpp"
+
+namespace syncpat::workload {
+
+class VirtualProgram {
+ public:
+  VirtualProgram(std::string name, std::uint32_t num_threads);
+
+  [[nodiscard]] std::uint32_t num_threads() const {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+
+  // --- address space -------------------------------------------------------
+  /// Allocates shared memory; returns the base address.
+  std::uint32_t alloc_shared(std::uint32_t bytes, std::uint32_t align = 4);
+  /// Allocates thread-private memory (stack/locals).
+  std::uint32_t alloc_private(std::uint32_t thread, std::uint32_t bytes,
+                              std::uint32_t align = 4);
+  /// Allocates a lock; returns its address.
+  std::uint32_t alloc_lock();
+
+  // --- recording -----------------------------------------------------------
+  /// Accumulates pure-execution cycles attributed to the next event.
+  void compute(std::uint32_t thread, std::uint32_t cycles);
+  /// Records a data read/write.  Each data reference is preceded by one
+  /// instruction fetch (the referencing instruction), keeping the
+  /// instruction/data mix realistic.
+  void load(std::uint32_t thread, std::uint32_t addr);
+  void store(std::uint32_t thread, std::uint32_t addr);
+  /// Records `count` instruction fetches (straight-line compute code).
+  void instructions(std::uint32_t thread, std::uint32_t count);
+  void lock(std::uint32_t thread, std::uint32_t lock_addr);
+  void unlock(std::uint32_t thread, std::uint32_t lock_addr);
+  /// Records a barrier arrival for one thread.
+  void barrier(std::uint32_t thread, std::uint32_t barrier_id);
+  /// Records the same barrier arrival in every thread (a phase boundary).
+  void barrier_all(std::uint32_t barrier_id);
+
+  /// Hands the recorded streams over as a ProgramTrace (this object is
+  /// empty afterwards).
+  [[nodiscard]] trace::ProgramTrace take_trace();
+
+  [[nodiscard]] std::uint64_t events_recorded(std::uint32_t thread) const {
+    return threads_[thread].events.size();
+  }
+
+ private:
+  struct Thread {
+    std::vector<trace::Event> events;
+    std::uint32_t pending_gap = 0;
+    std::uint32_t pc = 0;
+    std::uint32_t private_cursor = 0;
+    std::uint32_t locks_held = 0;
+  };
+
+  void emit(std::uint32_t thread, trace::Op op, std::uint32_t addr);
+  void emit_ifetch(std::uint32_t thread);
+
+  std::string name_;
+  std::vector<Thread> threads_;
+  std::uint32_t shared_cursor_ = 0;
+  std::uint32_t lock_cursor_ = 0;
+};
+
+}  // namespace syncpat::workload

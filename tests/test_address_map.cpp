@@ -1,0 +1,64 @@
+#include "trace/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace syncpat::trace {
+namespace {
+
+TEST(AddressMap, ClassifyRegions) {
+  EXPECT_EQ(AddressMap::classify(AddressMap::code_addr(0)), Region::kCode);
+  EXPECT_EQ(AddressMap::classify(AddressMap::code_addr(0x1000)), Region::kCode);
+  EXPECT_EQ(AddressMap::classify(AddressMap::private_addr(0, 0)), Region::kPrivate);
+  EXPECT_EQ(AddressMap::classify(AddressMap::shared_addr(0)), Region::kShared);
+  EXPECT_EQ(AddressMap::classify(AddressMap::lock_addr(0)), Region::kLock);
+}
+
+TEST(AddressMap, RegionBoundaries) {
+  EXPECT_EQ(AddressMap::classify(AddressMap::kPrivateBase - 1), Region::kCode);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kPrivateBase), Region::kPrivate);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kSharedBase - 1), Region::kPrivate);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kSharedBase), Region::kShared);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kLockBase - 1), Region::kShared);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kLockBase), Region::kLock);
+}
+
+TEST(AddressMap, LockIdRoundTrip) {
+  for (std::uint32_t id : {0u, 1u, 7u, 1000u, 100000u}) {
+    EXPECT_EQ(AddressMap::lock_id(AddressMap::lock_addr(id)), id);
+  }
+}
+
+TEST(AddressMap, LocksNeverShareA64ByteLine) {
+  EXPECT_GE(AddressMap::lock_addr(1) - AddressMap::lock_addr(0), 64u);
+}
+
+TEST(AddressMap, PrivateOwnerRoundTrip) {
+  for (std::uint32_t proc : {0u, 1u, 11u, 19u}) {
+    const std::uint32_t addr = AddressMap::private_addr(proc, 12345);
+    EXPECT_EQ(AddressMap::private_owner(addr), proc);
+  }
+}
+
+TEST(AddressMap, PrivateSegmentsDisjoint) {
+  const std::uint32_t end0 =
+      AddressMap::private_addr(0, AddressMap::kPrivateSegment - 4);
+  const std::uint32_t start1 = AddressMap::private_addr(1, 0);
+  EXPECT_LT(end0, start1);
+}
+
+TEST(AddressMap, SharedDataIncludesLocks) {
+  EXPECT_TRUE(AddressMap::is_shared_data(AddressMap::shared_addr(64)));
+  EXPECT_TRUE(AddressMap::is_shared_data(AddressMap::lock_addr(3)));
+  EXPECT_FALSE(AddressMap::is_shared_data(AddressMap::code_addr(8)));
+  EXPECT_FALSE(AddressMap::is_shared_data(AddressMap::private_addr(2, 8)));
+}
+
+TEST(AddressMap, RegionNames) {
+  EXPECT_STREQ(region_name(Region::kCode), "code");
+  EXPECT_STREQ(region_name(Region::kPrivate), "private");
+  EXPECT_STREQ(region_name(Region::kShared), "shared");
+  EXPECT_STREQ(region_name(Region::kLock), "lock");
+}
+
+}  // namespace
+}  // namespace syncpat::trace

@@ -1,0 +1,139 @@
+// Barrier synchronization through the full machine.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "test_util.hpp"
+#include "trace/analyzer.hpp"
+#include "workload/generator.hpp"
+
+namespace syncpat::core {
+namespace {
+
+using namespace testutil;
+
+trace::Event barrier(std::uint32_t id, std::uint32_t gap = 1) {
+  return trace::Event{trace::AddressMap::barrier_addr(id), gap,
+                      trace::Op::kBarrier};
+}
+
+TEST(Barrier, SingleProcessorPassesImmediately) {
+  trace::ProgramTrace program = make_program({{barrier(0, 1), ifetch(0x100, 5)}});
+  const SimulationResult r = simulate(machine(), program);
+  EXPECT_EQ(r.barriers_completed, 1u);
+  EXPECT_EQ(r.per_proc[0].stall_lock, 0u);
+}
+
+TEST(Barrier, AllProcessorsWaitForTheSlowest) {
+  trace::ProgramTrace program = make_program({
+      {barrier(0, 1), ifetch(0x100, 2)},
+      {barrier(0, 200), ifetch(0x100, 2)},  // arrives ~200 cycles later
+      {barrier(0, 1), ifetch(0x100, 2)},
+  });
+  const SimulationResult r = simulate(machine(), program);
+  EXPECT_EQ(r.barriers_completed, 1u);
+  // The early arrivals waited roughly the slow processor's head start.
+  EXPECT_GT(r.per_proc[0].stall_lock, 150u);
+  EXPECT_GT(r.per_proc[2].stall_lock, 150u);
+  // The last arriver never waits at the barrier itself; only its arrival
+  // access (classified lock-wait because others were queued) costs cycles.
+  EXPECT_LE(r.per_proc[1].stall_lock, 6u);
+  // All finish within a few cycles of each other.
+  const std::uint64_t c0 = r.per_proc[0].completion_cycle;
+  const std::uint64_t c1 = r.per_proc[1].completion_cycle;
+  EXPECT_LT(c0 > c1 ? c0 - c1 : c1 - c0, 20u);
+}
+
+TEST(Barrier, ReusableAcrossPhases) {
+  std::vector<std::vector<trace::Event>> traces(4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    for (int phase = 0; phase < 5; ++phase) {
+      traces[p].push_back(ifetch(0x100 + 16 * phase, 10 + p * 5));
+      traces[p].push_back(barrier(0, 1));
+    }
+  }
+  trace::ProgramTrace program = make_program(std::move(traces));
+  const SimulationResult r = simulate(machine(), program);
+  EXPECT_EQ(r.barriers_completed, 5u);
+}
+
+TEST(Barrier, WaitersAtArrivalAveragesHalf) {
+  // Staggered arrivals: processor p arrives p*30 cycles late, so arrival i
+  // finds i processors... measured mean over arrivals is (P-1)/2.
+  constexpr std::uint32_t kProcs = 8;
+  std::vector<std::vector<trace::Event>> traces(kProcs);
+  for (std::uint32_t p = 0; p < kProcs; ++p) {
+    traces[p].push_back(barrier(0, 1 + p * 30));
+    traces[p].push_back(ifetch(0x100, 2));
+  }
+  trace::ProgramTrace program = make_program(std::move(traces));
+  const SimulationResult r = simulate(machine(), program);
+  EXPECT_NEAR(r.barrier_waiters_at_arrival.mean(), (kProcs - 1) / 2.0, 0.01);
+}
+
+TEST(Barrier, ArrivalCostsOneBusTransaction) {
+  trace::ProgramTrace program = make_program({{barrier(0, 1)}});
+  MachineConfig config = machine();
+  config.num_procs = 1;
+  Simulator sim(config, program);
+  sim.run();
+  // One forced ownership transaction on a cold line: at most ~6 busy cycles.
+  EXPECT_LE(sim.bus().busy_cycles(), 6u);
+  EXPECT_GE(sim.bus().busy_cycles(), 1u);
+}
+
+TEST(Barrier, WorksUnderWeakOrderingWithFence) {
+  trace::ProgramTrace program = make_program({
+      {store(shared_line(0), 1), barrier(0, 1), ifetch(0x100, 2)},
+      {barrier(0, 30), ifetch(0x100, 2)},
+  });
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_EQ(r.barriers_completed, 1u);
+  EXPECT_GE(r.syncs_with_pending, 1u);  // the buffered store fenced
+}
+
+TEST(Barrier, AnalyzerCountsArrivals) {
+  trace::ProgramTrace program = make_program({{barrier(0, 1), barrier(0, 1)}});
+  const trace::IdealProgramStats stats = trace::analyze_program(program);
+  EXPECT_EQ(stats.per_proc[0].barriers, 2u);
+  EXPECT_EQ(stats.per_proc[0].refs_all, 0u);  // not a memory reference
+}
+
+TEST(Barrier, GeneratorEmitsEqualSequences) {
+  workload::BenchmarkProfile p;
+  p.name = "barrier-gen";
+  p.num_procs = 6;
+  p.refs_per_proc = 5'000;
+  p.data_ref_fraction = 0.3;
+  p.work_cycles_per_ref = 2.0;
+  p.locking.pairs_per_proc = 20;
+  p.locking.cs_work_cycles = 60;
+  p.locking.barriers_per_proc = 7;
+  trace::ProgramTrace program = workload::make_program_trace(p);
+  const trace::IdealProgramStats stats = trace::analyze_program(program);
+  for (const auto& proc : stats.per_proc) {
+    EXPECT_EQ(proc.barriers, 7u);  // identical count everywhere, or deadlock
+  }
+  program.reset_all();
+  const SimulationResult r = simulate(machine(), program);
+  EXPECT_EQ(r.barriers_completed, 7u);
+}
+
+TEST(Barrier, MixedWithLocksCompletes) {
+  std::vector<std::vector<trace::Event>> traces(4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    for (int round = 0; round < 5; ++round) {
+      traces[p].push_back(lock_acq(0, 3));
+      traces[p].push_back(load(shared_line(2), 10));
+      traces[p].push_back(lock_rel(0, 1));
+      traces[p].push_back(barrier(0, 2));
+    }
+  }
+  trace::ProgramTrace program = make_program(std::move(traces));
+  const SimulationResult r = simulate(machine(), program);
+  EXPECT_EQ(r.barriers_completed, 5u);
+  EXPECT_EQ(r.locks.acquisitions, 20u);
+}
+
+}  // namespace
+}  // namespace syncpat::core

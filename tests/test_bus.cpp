@@ -1,0 +1,90 @@
+#include "bus/bus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace syncpat::bus {
+namespace {
+
+TEST(Bus, StartsFree) {
+  Bus bus(BusConfig{.ports = 4, .request_cycles = 1, .data_cycles = 2});
+  EXPECT_TRUE(bus.free());
+  EXPECT_EQ(bus.current(), nullptr);
+}
+
+TEST(Bus, OccupancyLifecycle) {
+  Bus bus(BusConfig{.ports = 2, .request_cycles = 1, .data_cycles = 2});
+  Transaction txn;
+  bus.occupy(&txn, 3);
+  EXPECT_FALSE(bus.free());
+  EXPECT_EQ(bus.tick(), nullptr);  // 2 left
+  EXPECT_EQ(bus.tick(), nullptr);  // 1 left
+  EXPECT_EQ(bus.tick(), &txn);     // done
+  EXPECT_TRUE(bus.free());
+}
+
+TEST(Bus, SingleCycleTransaction) {
+  Bus bus(BusConfig{.ports = 2});
+  Transaction txn;
+  bus.occupy(&txn, 1);
+  EXPECT_EQ(bus.tick(), &txn);
+  EXPECT_TRUE(bus.free());
+}
+
+TEST(Bus, UtilizationCountsBusyCycles) {
+  Bus bus(BusConfig{.ports = 2});
+  Transaction txn;
+  bus.tick();  // idle
+  bus.occupy(&txn, 2);
+  bus.tick();
+  bus.tick();
+  bus.tick();  // idle
+  EXPECT_EQ(bus.busy_cycles(), 2u);
+  EXPECT_EQ(bus.total_cycles(), 4u);
+  EXPECT_DOUBLE_EQ(bus.utilization(), 0.5);
+}
+
+TEST(Bus, RoundRobinRotatesAfterGrant) {
+  Bus bus(BusConfig{.ports = 3});
+  EXPECT_EQ(bus.rr_port(0), 0u);
+  bus.granted(0);
+  EXPECT_EQ(bus.rr_port(0), 1u);
+  EXPECT_EQ(bus.rr_port(1), 2u);
+  EXPECT_EQ(bus.rr_port(2), 0u);
+  bus.granted(2);
+  EXPECT_EQ(bus.rr_port(0), 0u);
+}
+
+TEST(Bus, TxnKindNames) {
+  EXPECT_STREQ(txn_kind_name(TxnKind::kRead), "Read");
+  EXPECT_STREQ(txn_kind_name(TxnKind::kReadX), "ReadX");
+  EXPECT_STREQ(txn_kind_name(TxnKind::kUpgrade), "Upgrade");
+  EXPECT_STREQ(txn_kind_name(TxnKind::kWriteBack), "WriteBack");
+  EXPECT_STREQ(txn_kind_name(TxnKind::kHandoff), "Handoff");
+}
+
+TEST(Transaction, NeedsMemoryLogic) {
+  Transaction t;
+  t.kind = TxnKind::kRead;
+  EXPECT_TRUE(t.needs_memory());
+  t.supplied_by_cache = true;
+  EXPECT_FALSE(t.needs_memory());
+  t.kind = TxnKind::kUpgrade;
+  EXPECT_FALSE(t.needs_memory());
+  t.kind = TxnKind::kWriteBack;
+  EXPECT_TRUE(t.needs_memory());
+  t.kind = TxnKind::kHandoff;
+  EXPECT_FALSE(t.needs_memory());
+}
+
+TEST(Transaction, ExclusiveRequestKinds) {
+  Transaction t;
+  t.kind = TxnKind::kReadX;
+  EXPECT_TRUE(t.is_exclusive_request());
+  t.kind = TxnKind::kUpgrade;
+  EXPECT_TRUE(t.is_exclusive_request());
+  t.kind = TxnKind::kRead;
+  EXPECT_FALSE(t.is_exclusive_request());
+}
+
+}  // namespace
+}  // namespace syncpat::bus

@@ -1,0 +1,49 @@
+#include "trace/event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace syncpat::trace {
+namespace {
+
+TEST(Event, OpPredicates) {
+  EXPECT_TRUE(is_memory_ref(Op::kIFetch));
+  EXPECT_TRUE(is_memory_ref(Op::kLoad));
+  EXPECT_TRUE(is_memory_ref(Op::kStore));
+  EXPECT_FALSE(is_memory_ref(Op::kLockAcq));
+  EXPECT_FALSE(is_memory_ref(Op::kLockRel));
+
+  EXPECT_FALSE(is_data_ref(Op::kIFetch));
+  EXPECT_TRUE(is_data_ref(Op::kLoad));
+  EXPECT_TRUE(is_data_ref(Op::kStore));
+
+  EXPECT_TRUE(is_lock_op(Op::kLockAcq));
+  EXPECT_TRUE(is_lock_op(Op::kLockRel));
+  EXPECT_FALSE(is_lock_op(Op::kStore));
+}
+
+TEST(Event, OpNames) {
+  EXPECT_STREQ(op_name(Op::kIFetch), "ifetch");
+  EXPECT_STREQ(op_name(Op::kLoad), "load");
+  EXPECT_STREQ(op_name(Op::kStore), "store");
+  EXPECT_STREQ(op_name(Op::kLockAcq), "lock");
+  EXPECT_STREQ(op_name(Op::kLockRel), "unlock");
+}
+
+TEST(Event, Equality) {
+  const Event a{0x100, 2, Op::kLoad};
+  const Event b{0x100, 2, Op::kLoad};
+  const Event c{0x104, 2, Op::kLoad};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Event, ToStringContainsFields) {
+  const Event e{0xdeadbeef, 3, Op::kStore};
+  const std::string s = to_string(e);
+  EXPECT_NE(s.find("+3"), std::string::npos);
+  EXPECT_NE(s.find("store"), std::string::npos);
+  EXPECT_NE(s.find("deadbeef"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace syncpat::trace

@@ -1,0 +1,156 @@
+// End-to-end directional checks: the paper's findings must hold on the
+// calibrated workload models (run at a small scale for test speed).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "workload/profiles.hpp"
+
+namespace syncpat::core {
+namespace {
+
+constexpr std::uint64_t kScale = 32;
+
+SimulationResult run(const workload::BenchmarkProfile& profile,
+                     sync::SchemeKind scheme,
+                     bus::ConsistencyModel model =
+                         bus::ConsistencyModel::kSequential) {
+  MachineConfig config;
+  config.lock_scheme = scheme;
+  config.consistency = model;
+  return run_experiment(config, profile, kScale).sim;
+}
+
+TEST(Experiments, LockAcquisitionCountPredictsContention) {
+  // The paper's central finding (§3.1/§5): Grav and Pdsa, with the most
+  // acquisitions, have the worst utilization and the most waiters — even
+  // though Pverify holds locks a comparable fraction of the time.
+  const auto grav = run(workload::grav_profile(), sync::SchemeKind::kQueuing);
+  const auto pverify =
+      run(workload::pverify_profile(), sync::SchemeKind::kQueuing);
+  EXPECT_LT(grav.avg_utilization, 0.45);
+  EXPECT_GT(pverify.avg_utilization, 0.75);
+  EXPECT_GT(grav.locks.waiters_at_transfer.mean(), 4.0);
+  EXPECT_LT(pverify.locks.waiters_at_transfer.mean(), 0.5);
+  EXPECT_GT(grav.stall_lock_pct, 80.0);
+  EXPECT_LT(pverify.stall_lock_pct, 5.0);
+}
+
+TEST(Experiments, HoldTimeFractionIsNotAPredictor) {
+  // Pverify spends ~36% of its time holding locks (like Grav's ~40%) yet
+  // sees essentially no contention.
+  const auto pverify =
+      run(workload::pverify_profile(), sync::SchemeKind::kQueuing);
+  EXPECT_LT(pverify.locks.transfers, pverify.locks.acquisitions / 20);
+}
+
+TEST(Experiments, TtasSlowsContendedProgramsOnly) {
+  for (const auto& profile :
+       {workload::grav_profile(), workload::pdsa_profile()}) {
+    const auto q = run(profile, sync::SchemeKind::kQueuing);
+    const auto t = run(profile, sync::SchemeKind::kTtas);
+    const double slowdown = static_cast<double>(t.run_time) /
+                            static_cast<double>(q.run_time);
+    EXPECT_GT(slowdown, 1.03) << profile.name;
+    EXPECT_LT(slowdown, 1.35) << profile.name;
+  }
+  for (const auto& profile :
+       {workload::pverify_profile(), workload::qsort_profile()}) {
+    const auto q = run(profile, sync::SchemeKind::kQueuing);
+    const auto t = run(profile, sync::SchemeKind::kTtas);
+    const double slowdown = static_cast<double>(t.run_time) /
+                            static_cast<double>(q.run_time);
+    EXPECT_NEAR(slowdown, 1.0, 0.02) << profile.name;
+  }
+}
+
+TEST(Experiments, TtasTransferCostTensOfCycles) {
+  const auto t = run(workload::grav_profile(), sync::SchemeKind::kTtas);
+  const auto q = run(workload::grav_profile(), sync::SchemeKind::kQueuing);
+  EXPECT_GT(t.locks.transfer_cycles.mean(), 12.0);
+  EXPECT_LT(q.locks.transfer_cycles.mean(), 4.0);
+}
+
+TEST(Experiments, WeakOrderingBuysLittle) {
+  for (const auto& profile :
+       {workload::pverify_profile(), workload::topopt_profile()}) {
+    const auto sc = run(profile, sync::SchemeKind::kQueuing);
+    const auto wo = run(profile, sync::SchemeKind::kQueuing,
+                        bus::ConsistencyModel::kWeak);
+    const double diff = wo.runtime_change_pct(sc);
+    EXPECT_GT(diff, -2.0) << profile.name;
+    EXPECT_LT(diff, 6.0) << profile.name;
+  }
+}
+
+TEST(Experiments, WeakOrderingKeepsLockPatterns) {
+  const auto sc = run(workload::pdsa_profile(), sync::SchemeKind::kQueuing);
+  const auto wo = run(workload::pdsa_profile(), sync::SchemeKind::kQueuing,
+                      bus::ConsistencyModel::kWeak);
+  EXPECT_NEAR(wo.locks.waiters_at_transfer.mean(),
+              sc.locks.waiters_at_transfer.mean(), 1.0);
+  EXPECT_NEAR(static_cast<double>(wo.locks.transfers),
+              static_cast<double>(sc.locks.transfers),
+              0.1 * static_cast<double>(sc.locks.transfers));
+}
+
+TEST(Experiments, SyncsRarelyFindPendingAccesses) {
+  const auto wo = run(workload::grav_profile(), sync::SchemeKind::kQueuing,
+                      bus::ConsistencyModel::kWeak);
+  ASSERT_GT(wo.syncs, 0u);
+  EXPECT_LT(static_cast<double>(wo.syncs_with_pending),
+            0.10 * static_cast<double>(wo.syncs));
+}
+
+TEST(Experiments, ExactQueuingValidatesPaperAssumption) {
+  const auto approx = run(workload::grav_profile(), sync::SchemeKind::kQueuing);
+  const auto exact =
+      run(workload::grav_profile(), sync::SchemeKind::kQueuingExact);
+  const double delta =
+      std::abs(exact.runtime_change_pct(approx));
+  EXPECT_LT(delta, 8.0);  // "no impact on the validity of our results"
+  // And the ordering vs T&T&S is unchanged:
+  const auto ttas = run(workload::grav_profile(), sync::SchemeKind::kTtas);
+  EXPECT_LT(exact.run_time, ttas.run_time);
+}
+
+TEST(Experiments, TopoptRunTimeSkewedByOneProcessor) {
+  const auto r = run(workload::topopt_profile(), sync::SchemeKind::kQueuing);
+  EXPECT_GT(r.avg_utilization, 0.90);
+  std::uint64_t max_completion = 0, second = 0;
+  for (const auto& p : r.per_proc) {
+    if (p.completion_cycle > max_completion) {
+      second = max_completion;
+      max_completion = p.completion_cycle;
+    } else if (p.completion_cycle > second) {
+      second = p.completion_cycle;
+    }
+  }
+  EXPECT_GT(static_cast<double>(max_completion),
+            1.2 * static_cast<double>(second));
+}
+
+TEST(Experiments, ScaleFromEnvParsesAndDefaults) {
+  ::unsetenv("SYNCPAT_SCALE");
+  EXPECT_EQ(scale_from_env(8), 8u);
+  ::setenv("SYNCPAT_SCALE", "2", 1);
+  EXPECT_EQ(scale_from_env(8), 2u);
+  ::setenv("SYNCPAT_SCALE", "0", 1);
+  EXPECT_EQ(scale_from_env(8), 8u);  // invalid: fall back
+  ::setenv("SYNCPAT_SCALE", "junk", 1);
+  EXPECT_EQ(scale_from_env(8), 8u);
+  ::unsetenv("SYNCPAT_SCALE");
+}
+
+TEST(Experiments, MachineDescribeMentionsKeyParameters) {
+  MachineConfig config;
+  const std::string d = config.describe();
+  EXPECT_NE(d.find("64 KB"), std::string::npos);
+  EXPECT_NE(d.find("Illinois"), std::string::npos);
+  EXPECT_NE(d.find("6 stall cycles"), std::string::npos);
+  EXPECT_NE(d.find("round-robin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace syncpat::core

@@ -1,0 +1,44 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace syncpat::util {
+namespace {
+
+TEST(Format, WithCommasSmall) {
+  EXPECT_EQ(with_commas(std::uint64_t{0}), "0");
+  EXPECT_EQ(with_commas(std::uint64_t{7}), "7");
+  EXPECT_EQ(with_commas(std::uint64_t{999}), "999");
+}
+
+TEST(Format, WithCommasGroups) {
+  EXPECT_EQ(with_commas(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(with_commas(std::uint64_t{1234567}), "1,234,567");
+  EXPECT_EQ(with_commas(std::uint64_t{1000000000}), "1,000,000,000");
+}
+
+TEST(Format, WithCommasNegative) {
+  EXPECT_EQ(with_commas(std::int64_t{-1234567}), "-1,234,567");
+  EXPECT_EQ(with_commas(std::int64_t{-1}), "-1");
+}
+
+TEST(Format, FixedDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.5, 0), "2");   // round-to-even
+  EXPECT_EQ(fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.325, 1), "32.5");
+  EXPECT_EQ(percent(1.0, 0), "100");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace syncpat::util

@@ -1,0 +1,86 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace syncpat::util {
+namespace {
+
+TEST(Histogram, ZeroGoesToBucketZero) {
+  Histogram h;
+  h.add(0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket i (i >= 1) holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_lo(1), 1u);
+  EXPECT_EQ(Histogram::bucket_hi(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lo(2), 2u);
+  EXPECT_EQ(Histogram::bucket_hi(2), 3u);
+  EXPECT_EQ(Histogram::bucket_lo(5), 16u);
+  EXPECT_EQ(Histogram::bucket_hi(5), 31u);
+}
+
+TEST(Histogram, ValuesLandInTheRightBuckets) {
+  Histogram h;
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(31);
+  h.add(32);
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 1
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 4
+  EXPECT_EQ(h.bucket_count(5), 1u);  // 31
+  EXPECT_EQ(h.bucket_count(6), 1u);  // 32
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+  // The 500th value of 1..1000 falls in the [256,511] bucket.
+  EXPECT_EQ(h.quantile(0.5), 511u);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.add(5);
+  b.add(5);
+  b.add(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_count(3), 2u);  // two fives in [4,7]
+}
+
+TEST(Histogram, ToStringListsNonEmptyBuckets) {
+  Histogram h;
+  h.add(7);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[4, 7]"), std::string::npos);
+}
+
+TEST(Histogram, HugeValuesClampToLastBucket) {
+  Histogram h;
+  h.add(~0ULL);
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 1), 1u);
+}
+
+}  // namespace
+}  // namespace syncpat::util

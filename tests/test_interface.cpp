@@ -1,0 +1,124 @@
+#include "bus/interface.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace syncpat::bus {
+namespace {
+
+Transaction make(TxnKind kind, std::uint32_t line,
+                 StallCause cause = StallCause::kNone) {
+  Transaction t;
+  t.kind = kind;
+  t.line_addr = line;
+  t.stall_cause = cause;
+  return t;
+}
+
+TEST(BusInterface, SequentialIsFifo) {
+  BusInterface iface(0, 4, ConsistencyModel::kSequential);
+  Transaction a = make(TxnKind::kWriteBack, 0x100);
+  Transaction b = make(TxnKind::kRead, 0x200, StallCause::kCacheMiss);
+  EXPECT_TRUE(iface.enqueue(&a));
+  EXPECT_TRUE(iface.enqueue(&b));
+  EXPECT_EQ(iface.pop_head(), &a);
+  EXPECT_EQ(iface.pop_head(), &b);
+}
+
+TEST(BusInterface, FullRejectsEnqueue) {
+  BusInterface iface(0, 2, ConsistencyModel::kSequential);
+  Transaction a = make(TxnKind::kWriteBack, 0x100);
+  Transaction b = make(TxnKind::kWriteBack, 0x200);
+  Transaction c = make(TxnKind::kWriteBack, 0x300);
+  EXPECT_TRUE(iface.enqueue(&a));
+  EXPECT_TRUE(iface.enqueue(&b));
+  EXPECT_FALSE(iface.enqueue(&c));
+  EXPECT_TRUE(iface.full());
+}
+
+TEST(BusInterface, WeakOrderingBypassesBufferedWrites) {
+  BusInterface iface(0, 4, ConsistencyModel::kWeak);
+  Transaction wb = make(TxnKind::kWriteBack, 0x100);
+  Transaction wr = make(TxnKind::kReadX, 0x200);  // buffered store, no stall
+  Transaction rd = make(TxnKind::kRead, 0x300, StallCause::kCacheMiss);
+  EXPECT_TRUE(iface.enqueue(&wb));
+  EXPECT_TRUE(iface.enqueue(&wr));
+  EXPECT_TRUE(iface.enqueue(&rd));
+  EXPECT_EQ(iface.pop_head(), &rd);  // the stalling read bypassed to the front
+  EXPECT_EQ(iface.pop_head(), &wb);
+  EXPECT_EQ(iface.pop_head(), &wr);
+  EXPECT_EQ(iface.bypasses(), 1u);
+}
+
+TEST(BusInterface, WeakOrderingRespectsSameLineDependence) {
+  BusInterface iface(0, 4, ConsistencyModel::kWeak);
+  Transaction wr = make(TxnKind::kReadX, 0x300);
+  Transaction rd = make(TxnKind::kRead, 0x300, StallCause::kCacheMiss);
+  EXPECT_TRUE(iface.enqueue(&wr));
+  EXPECT_TRUE(iface.enqueue(&rd));
+  EXPECT_EQ(iface.pop_head(), &wr);  // no bypass past a same-line entry
+  EXPECT_EQ(iface.pop_head(), &rd);
+  EXPECT_EQ(iface.bypass_blocked(), 1u);
+}
+
+TEST(BusInterface, WeakOrderingNonStallingWritesStayFifo) {
+  BusInterface iface(0, 4, ConsistencyModel::kWeak);
+  Transaction w1 = make(TxnKind::kReadX, 0x100);
+  Transaction w2 = make(TxnKind::kUpgrade, 0x200);
+  EXPECT_TRUE(iface.enqueue(&w1));
+  EXPECT_TRUE(iface.enqueue(&w2));
+  EXPECT_EQ(iface.pop_head(), &w1);
+  EXPECT_EQ(iface.pop_head(), &w2);
+}
+
+TEST(BusInterface, SequentialNeverBypasses) {
+  BusInterface iface(0, 4, ConsistencyModel::kSequential);
+  Transaction wb = make(TxnKind::kWriteBack, 0x100);
+  Transaction rd = make(TxnKind::kRead, 0x200, StallCause::kCacheMiss);
+  EXPECT_TRUE(iface.enqueue(&wb));
+  EXPECT_TRUE(iface.enqueue(&rd));
+  EXPECT_EQ(iface.pop_head(), &wb);
+  EXPECT_EQ(iface.bypasses(), 0u);
+}
+
+TEST(BusInterface, SnoopWritebackRemovesMatch) {
+  BusInterface iface(0, 4, ConsistencyModel::kSequential);
+  Transaction wb1 = make(TxnKind::kWriteBack, 0x100);
+  Transaction rd = make(TxnKind::kRead, 0x200, StallCause::kCacheMiss);
+  Transaction wb2 = make(TxnKind::kWriteBack, 0x300);
+  EXPECT_TRUE(iface.enqueue(&wb1));
+  EXPECT_TRUE(iface.enqueue(&rd));
+  EXPECT_TRUE(iface.enqueue(&wb2));
+  EXPECT_EQ(iface.snoop_writeback(0x300), &wb2);
+  EXPECT_EQ(iface.snoop_writeback(0x300), nullptr);  // already gone
+  EXPECT_EQ(iface.size(), 2u);
+  EXPECT_EQ(iface.pop_head(), &wb1);  // order of the rest preserved
+  EXPECT_EQ(iface.pop_head(), &rd);
+}
+
+TEST(BusInterface, SnoopWritebackIgnoresReads) {
+  BusInterface iface(0, 4, ConsistencyModel::kSequential);
+  Transaction rd = make(TxnKind::kRead, 0x100, StallCause::kCacheMiss);
+  EXPECT_TRUE(iface.enqueue(&rd));
+  EXPECT_EQ(iface.snoop_writeback(0x100), nullptr);
+}
+
+TEST(BusInterface, HasLineScansAllEntries) {
+  BusInterface iface(0, 4, ConsistencyModel::kSequential);
+  Transaction a = make(TxnKind::kWriteBack, 0x100);
+  Transaction b = make(TxnKind::kUpgrade, 0x200);
+  EXPECT_TRUE(iface.enqueue(&a));
+  EXPECT_TRUE(iface.enqueue(&b));
+  EXPECT_TRUE(iface.has_line(0x100));
+  EXPECT_TRUE(iface.has_line(0x200));
+  EXPECT_FALSE(iface.has_line(0x300));
+}
+
+TEST(BusInterface, ConsistencyNames) {
+  EXPECT_STREQ(consistency_name(ConsistencyModel::kSequential), "sequential");
+  EXPECT_STREQ(consistency_name(ConsistencyModel::kWeak), "weak");
+}
+
+}  // namespace
+}  // namespace syncpat::bus

@@ -1,0 +1,155 @@
+// Kernel-driven trace generators: the real algorithms must be correct *and*
+// produce well-formed, simulatable traces.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/simulator.hpp"
+#include "test_util.hpp"
+#include "trace/analyzer.hpp"
+#include "workload/kernels/annealing.hpp"
+#include "workload/kernels/barnes_hut.hpp"
+#include "workload/kernels/qsort_kernel.hpp"
+#include "workload/vm.hpp"
+
+namespace syncpat::workload {
+namespace {
+
+TEST(VirtualProgram, AllocationsLandInTheRightRegions) {
+  VirtualProgram vm("t", 2);
+  const std::uint32_t sh = vm.alloc_shared(64);
+  const std::uint32_t pr = vm.alloc_private(1, 64);
+  const std::uint32_t lk = vm.alloc_lock();
+  EXPECT_EQ(trace::AddressMap::classify(sh), trace::Region::kShared);
+  EXPECT_EQ(trace::AddressMap::classify(pr), trace::Region::kPrivate);
+  EXPECT_EQ(trace::AddressMap::private_owner(pr), 1u);
+  EXPECT_EQ(trace::AddressMap::classify(lk), trace::Region::kLock);
+}
+
+TEST(VirtualProgram, AlignmentRespected) {
+  VirtualProgram vm("t", 1);
+  vm.alloc_shared(3);
+  const std::uint32_t b = vm.alloc_shared(8, 16);
+  EXPECT_EQ(b % 16, 0u);
+}
+
+TEST(VirtualProgram, RecordsEventsWithGaps) {
+  VirtualProgram vm("t", 1);
+  const std::uint32_t a = vm.alloc_shared(16);
+  vm.compute(0, 10);
+  vm.load(0, a);
+  vm.store(0, a);
+  trace::ProgramTrace program = vm.take_trace();
+  const auto events = trace::collect(*program.per_proc[0]);
+  // Each data op emits an ifetch + the reference.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].op, trace::Op::kIFetch);
+  EXPECT_GE(events[0].gap, 10u);  // compute() accumulated into the next event
+  EXPECT_EQ(events[1].op, trace::Op::kLoad);
+  EXPECT_EQ(events[3].op, trace::Op::kStore);
+}
+
+TEST(VirtualProgram, LockPairingTracked) {
+  VirtualProgram vm("t", 1);
+  const std::uint32_t lk = vm.alloc_lock();
+  vm.lock(0, lk);
+  vm.unlock(0, lk);
+  trace::ProgramTrace program = vm.take_trace();
+  const trace::IdealProgramStats stats = trace::analyze_program(program);
+  EXPECT_EQ(stats.per_proc[0].lock_pairs, 1u);
+}
+
+TEST(QsortKernel, SortsAndTraces) {
+  QsortParams params;
+  params.num_threads = 4;
+  params.num_elements = 3000;
+  trace::ProgramTrace program = qsort_trace(params);  // aborts if unsorted
+  EXPECT_EQ(program.num_procs(), 4u);
+  const trace::IdealProgramStats stats = trace::analyze_program(program);
+  std::uint64_t total_pairs = 0, total_refs = 0;
+  for (const auto& p : stats.per_proc) {
+    total_pairs += p.lock_pairs;
+    total_refs += p.refs_all;
+  }
+  EXPECT_GT(total_pairs, 50u);   // every queue op is locked
+  EXPECT_GT(total_refs, 10000u);  // real work was traced
+}
+
+TEST(QsortKernel, DeterministicAcrossRuns) {
+  QsortParams params;
+  params.num_threads = 3;
+  params.num_elements = 500;
+  trace::ProgramTrace a = qsort_trace(params);
+  trace::ProgramTrace b = qsort_trace(params);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(trace::collect(*a.per_proc[p]), trace::collect(*b.per_proc[p]));
+  }
+}
+
+TEST(QsortKernel, TraceSimulates) {
+  QsortParams params;
+  params.num_threads = 4;
+  params.num_elements = 1500;
+  trace::ProgramTrace program = qsort_trace(params);
+  const core::SimulationResult r =
+      testutil::simulate(testutil::machine(), program);
+  EXPECT_GT(r.run_time, 0u);
+  EXPECT_GT(r.locks.acquisitions, 50u);
+}
+
+TEST(BarnesHutKernel, TracesWithNestedLocks) {
+  BarnesHutParams params;
+  params.num_threads = 4;
+  params.num_bodies = 300;
+  trace::ProgramTrace program = barnes_hut_trace(params);
+  const trace::IdealProgramStats stats = trace::analyze_program(program);
+  std::uint64_t pairs = 0, nested = 0;
+  for (const auto& p : stats.per_proc) {
+    pairs += p.lock_pairs;
+    nested += p.nested_pairs;
+  }
+  // The Presto scheduler/queue pattern: every dequeue nests the queue lock.
+  EXPECT_GT(pairs, 0u);
+  EXPECT_NEAR(static_cast<double>(nested), static_cast<double>(pairs) / 2.0,
+              static_cast<double>(pairs) * 0.1);
+}
+
+TEST(BarnesHutKernel, TraceSimulatesUnderBothSchemes) {
+  BarnesHutParams params;
+  params.num_threads = 4;
+  params.num_bodies = 200;
+  for (const auto scheme :
+       {sync::SchemeKind::kQueuing, sync::SchemeKind::kTtas}) {
+    trace::ProgramTrace program = barnes_hut_trace(params);
+    const core::SimulationResult r =
+        testutil::simulate(testutil::machine(scheme), program);
+    EXPECT_GT(r.run_time, 0u) << sync::scheme_kind_name(scheme);
+  }
+}
+
+TEST(AnnealingKernel, ShortCriticalSectionsEveryFewMoves) {
+  AnnealingParams params;
+  params.num_threads = 4;
+  params.grid_side = 16;
+  params.moves_per_thread = 200;
+  params.moves_per_sync = 4;
+  trace::ProgramTrace program = annealing_trace(params);
+  const trace::IdealProgramStats stats = trace::analyze_program(program);
+  std::uint64_t pairs = 0;
+  for (const auto& p : stats.per_proc) pairs += p.lock_pairs;
+  EXPECT_NEAR(static_cast<double>(pairs), 4.0 * 200.0 / 4.0, 20.0);
+}
+
+TEST(AnnealingKernel, ContendedGlobalLockShowsWaiters) {
+  AnnealingParams params;
+  params.num_threads = 8;
+  params.grid_side = 16;
+  params.moves_per_thread = 300;
+  params.moves_per_sync = 2;  // very frequent syncs: real contention
+  trace::ProgramTrace program = annealing_trace(params);
+  const core::SimulationResult r =
+      testutil::simulate(testutil::machine(), program);
+  EXPECT_GT(r.locks.transfers, 0u);
+}
+
+}  // namespace
+}  // namespace syncpat::workload

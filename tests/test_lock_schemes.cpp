@@ -1,0 +1,137 @@
+// Property tests shared by every lock scheme: mutual exclusion, progress,
+// statistics consistency, and FIFO-ish fairness where applicable.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace syncpat::core {
+namespace {
+
+using namespace testutil;
+
+class AllSchemes : public ::testing::TestWithParam<sync::SchemeKind> {};
+
+trace::ProgramTrace random_lock_workload(std::uint32_t procs, int rounds,
+                                         std::uint32_t num_locks,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<trace::Event>> traces(procs);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    for (int r = 0; r < rounds; ++r) {
+      const auto lock = static_cast<std::uint32_t>(rng.below(num_locks));
+      const auto think = static_cast<std::uint32_t>(1 + rng.below(20));
+      const auto cs = static_cast<std::uint32_t>(1 + rng.below(40));
+      traces[p].push_back(lock_acq(lock, think));
+      traces[p].push_back(load(shared_line(lock + 8), cs));
+      traces[p].push_back(store(shared_line(lock + 8), 1));
+      traces[p].push_back(lock_rel(lock, 1));
+    }
+  }
+  return make_program(std::move(traces));
+}
+
+TEST_P(AllSchemes, EveryAcquisitionCompletes) {
+  trace::ProgramTrace program = random_lock_workload(8, 25, 3, 0xabc);
+  const SimulationResult r = simulate(machine(GetParam()), program);
+  EXPECT_EQ(r.locks.acquisitions, 8u * 25u);
+}
+
+TEST_P(AllSchemes, StatsAreInternallyConsistent) {
+  trace::ProgramTrace program = random_lock_workload(6, 20, 2, 0xdef);
+  const SimulationResult r = simulate(machine(GetParam()), program);
+  // hold samples == acquisitions (every acquisition was released).
+  EXPECT_EQ(r.locks.hold_cycles.count(), r.locks.acquisitions);
+  // transfer-latency samples == transfers.
+  EXPECT_EQ(r.locks.transfer_cycles.count(), r.locks.transfers);
+  EXPECT_EQ(r.locks.waiters_at_transfer.count(), r.locks.transfers);
+  EXPECT_LE(r.locks.transfers, r.locks.acquisitions);
+  EXPECT_GE(r.locks.hold_cycles.min(), 0.0);
+}
+
+TEST_P(AllSchemes, SingleProcessorNeverWaitsOnLocks) {
+  std::vector<trace::Event> events;
+  for (int i = 0; i < 15; ++i) {
+    events.push_back(lock_acq(0, 2));
+    events.push_back(lock_rel(0, 8));
+  }
+  trace::ProgramTrace program = make_program({events});
+  const SimulationResult r = simulate(machine(GetParam()), program);
+  EXPECT_EQ(r.per_proc[0].stall_lock, 0u);
+  EXPECT_EQ(r.locks.transfers, 0u);
+}
+
+TEST_P(AllSchemes, HeavyContentionMakesProgress) {
+  trace::ProgramTrace program = random_lock_workload(12, 30, 1, 0x123);
+  const SimulationResult r = simulate(machine(GetParam()), program);
+  EXPECT_EQ(r.locks.acquisitions, 12u * 30u);
+  EXPECT_GT(r.locks.transfers, 100u);
+  EXPECT_GT(r.locks.waiters_at_transfer.mean(), 1.0);
+}
+
+TEST_P(AllSchemes, NestedLocksWork) {
+  std::vector<std::vector<trace::Event>> traces(4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    for (int r = 0; r < 10; ++r) {
+      traces[p].push_back(lock_acq(0, 5));
+      traces[p].push_back(lock_acq(1, 3));
+      traces[p].push_back(load(shared_line(4), 5));
+      traces[p].push_back(lock_rel(1, 2));
+      traces[p].push_back(lock_rel(0, 2));
+    }
+  }
+  trace::ProgramTrace program = make_program(std::move(traces));
+  const SimulationResult r = simulate(machine(GetParam()), program);
+  EXPECT_EQ(r.locks.acquisitions, 4u * 10u * 2u);
+}
+
+TEST_P(AllSchemes, WeakOrderingPreservesLockSemantics) {
+  trace::ProgramTrace program = random_lock_workload(6, 20, 2, 0x77);
+  const SimulationResult r = simulate(
+      machine(GetParam(), bus::ConsistencyModel::kWeak), program);
+  EXPECT_EQ(r.locks.acquisitions, 6u * 20u);
+  EXPECT_EQ(r.locks.hold_cycles.count(), r.locks.acquisitions);
+}
+
+TEST_P(AllSchemes, RuntimeDeterministic) {
+  trace::ProgramTrace p1 = random_lock_workload(5, 15, 2, 0x55);
+  trace::ProgramTrace p2 = random_lock_workload(5, 15, 2, 0x55);
+  const SimulationResult a = simulate(machine(GetParam()), p1);
+  const SimulationResult b = simulate(machine(GetParam()), p2);
+  EXPECT_EQ(a.run_time, b.run_time);
+  EXPECT_EQ(a.locks.transfers, b.locks.transfers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AllSchemes, ::testing::ValuesIn(sync::all_scheme_kinds()),
+    [](const ::testing::TestParamInfo<sync::SchemeKind>& info) {
+      std::string name = sync::scheme_kind_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(SchemeFactory, NamesRoundTrip) {
+  for (const auto kind : sync::all_scheme_kinds()) {
+    EXPECT_EQ(sync::scheme_kind_from_name(sync::scheme_kind_name(kind)), kind);
+  }
+  EXPECT_THROW((void)sync::scheme_kind_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(SchemeComparison, RelativeTransferCostOrdering) {
+  // Queuing < ticket <= ttas on hand-off latency under heavy contention.
+  auto run = [](sync::SchemeKind kind) {
+    trace::ProgramTrace program = random_lock_workload(10, 25, 1, 0x99);
+    return simulate(machine(kind), program);
+  };
+  const SimulationResult q = run(sync::SchemeKind::kQueuing);
+  const SimulationResult tk = run(sync::SchemeKind::kTicket);
+  const SimulationResult tt = run(sync::SchemeKind::kTtas);
+  EXPECT_LT(q.locks.transfer_cycles.mean(), tk.locks.transfer_cycles.mean());
+  EXPECT_LE(tk.locks.transfer_cycles.mean(),
+            tt.locks.transfer_cycles.mean() + 1.0);
+}
+
+}  // namespace
+}  // namespace syncpat::core

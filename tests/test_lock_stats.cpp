@@ -1,0 +1,82 @@
+#include "sync/lock_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace syncpat::sync {
+namespace {
+
+TEST(LockStats, UncontendedAcquireRelease) {
+  LockStatsCollector c;
+  c.acquired(0x100, 0, 10);
+  c.released(0x100, 60, /*transferred=*/false, 0);
+  EXPECT_EQ(c.total().acquisitions, 1u);
+  EXPECT_EQ(c.total().transfers, 0u);
+  EXPECT_DOUBLE_EQ(c.total().hold_cycles.mean(), 50.0);
+}
+
+TEST(LockStats, TransferWindowMeasured) {
+  LockStatsCollector c;
+  c.acquired(0x100, 0, 10);
+  c.released(0x100, 50, /*transferred=*/true, 2);
+  c.acquired(0x100, 1, 53);  // the waiter got it 3 cycles later
+  EXPECT_EQ(c.total().transfers, 1u);
+  EXPECT_DOUBLE_EQ(c.total().transfer_cycles.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(c.total().waiters_at_transfer.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(c.total().hold_cycles_transfer.mean(), 40.0);
+}
+
+TEST(LockStats, ReleaseIssueEndsHoldEarly) {
+  LockStatsCollector c;
+  c.acquired(0x100, 0, 0);
+  c.release_issued(0x100, 30);
+  c.released(0x100, 36, /*transferred=*/false, 0);  // access took 6 cycles
+  EXPECT_DOUBLE_EQ(c.total().hold_cycles.mean(), 30.0);
+}
+
+TEST(LockStats, ReleaseIssueConsumedOnce) {
+  LockStatsCollector c;
+  c.acquired(0x100, 0, 0);
+  c.release_issued(0x100, 30);
+  c.released(0x100, 36, false, 0);
+  c.acquired(0x100, 1, 40);
+  c.released(0x100, 90, false, 0);  // no release_issued: hold ends at 90
+  EXPECT_DOUBLE_EQ(c.total().hold_cycles.max(), 50.0);
+}
+
+TEST(LockStats, PerLockBreakdown) {
+  LockStatsCollector c;
+  c.acquired(0x100, 0, 0);
+  c.released(0x100, 10, false, 0);
+  c.acquired(0x200, 1, 0);
+  c.released(0x200, 30, false, 0);
+  ASSERT_EQ(c.per_lock().size(), 2u);
+  EXPECT_DOUBLE_EQ(c.per_lock().at(0x100).hold_cycles.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(c.per_lock().at(0x200).hold_cycles.mean(), 30.0);
+  EXPECT_EQ(c.total().acquisitions, 2u);
+}
+
+TEST(LockStats, ChainedTransfers) {
+  LockStatsCollector c;
+  c.acquired(0x100, 0, 0);
+  c.released(0x100, 100, true, 3);
+  c.acquired(0x100, 1, 101);
+  c.released(0x100, 200, true, 2);
+  c.acquired(0x100, 2, 202);
+  c.released(0x100, 300, false, 0);
+  EXPECT_EQ(c.total().acquisitions, 3u);
+  EXPECT_EQ(c.total().transfers, 2u);
+  EXPECT_DOUBLE_EQ(c.total().transfer_cycles.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(c.total().waiters_at_transfer.mean(), 2.5);
+}
+
+TEST(LockStats, TransferHistogramPopulated) {
+  LockStatsCollector c;
+  c.acquired(0x100, 0, 0);
+  c.released(0x100, 10, true, 0);
+  c.acquired(0x100, 1, 32);  // 22-cycle transfer
+  EXPECT_EQ(c.total().transfer_hist.count(), 1u);
+  EXPECT_GE(c.total().transfer_hist.quantile(0.5), 22u);
+}
+
+}  // namespace
+}  // namespace syncpat::sync

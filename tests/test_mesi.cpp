@@ -1,0 +1,106 @@
+// Exhaustive Illinois/MESI snoop transition checks (parameterized).
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+
+namespace syncpat::cache {
+namespace {
+
+struct SnoopCase {
+  LineState initial;
+  bool exclusive_request;  // ReadX/Upgrade vs Read
+  LineState expected;
+  bool expect_had_line;
+  bool expect_dirty;
+  bool expect_invalidated;
+};
+
+class MesiSnoop : public ::testing::TestWithParam<SnoopCase> {};
+
+TEST_P(MesiSnoop, TransitionMatchesProtocol) {
+  const SnoopCase& c = GetParam();
+  Cache cache{CacheConfig{.size_bytes = 128, .line_bytes = 16,
+                          .associativity = 2}};
+  if (c.initial != LineState::kInvalid) {
+    ASSERT_TRUE(cache.allocate(0x40).ok);
+    if (c.initial == LineState::kPending) {
+      // leave pending
+    } else {
+      cache.fill(0x40, c.initial);
+    }
+  }
+  const SnoopResult r = cache.snoop(0x40, c.exclusive_request);
+  EXPECT_EQ(r.had_line, c.expect_had_line);
+  EXPECT_EQ(r.was_dirty, c.expect_dirty);
+  EXPECT_EQ(r.invalidated, c.expect_invalidated);
+  EXPECT_EQ(cache.state(0x40), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStates, MesiSnoop,
+    ::testing::Values(
+        // Read snoops: everyone supplies and moves to Shared.
+        SnoopCase{LineState::kModified, false, LineState::kShared, true, true,
+                  false},
+        SnoopCase{LineState::kExclusive, false, LineState::kShared, true,
+                  false, false},
+        SnoopCase{LineState::kShared, false, LineState::kShared, true, false,
+                  false},
+        SnoopCase{LineState::kInvalid, false, LineState::kInvalid, false,
+                  false, false},
+        // Pending lines are invisible to snoops (the bus serializes lines).
+        SnoopCase{LineState::kPending, false, LineState::kPending, false,
+                  false, false},
+        // Exclusive requests (ReadX/Upgrade) invalidate.
+        SnoopCase{LineState::kModified, true, LineState::kInvalid, true, true,
+                  true},
+        SnoopCase{LineState::kExclusive, true, LineState::kInvalid, true,
+                  false, true},
+        SnoopCase{LineState::kShared, true, LineState::kInvalid, true, false,
+                  true},
+        SnoopCase{LineState::kInvalid, true, LineState::kInvalid, false, false,
+                  false},
+        SnoopCase{LineState::kPending, true, LineState::kPending, false, false,
+                  false}));
+
+struct WriteCase {
+  LineState initial;
+  bool expect_upgrade;
+  LineState expected_after;
+};
+
+class MesiWriteHit : public ::testing::TestWithParam<WriteCase> {};
+
+TEST_P(MesiWriteHit, LocalWriteTransitions) {
+  const WriteCase& c = GetParam();
+  Cache cache{CacheConfig{.size_bytes = 128, .line_bytes = 16,
+                          .associativity = 2}};
+  ASSERT_TRUE(cache.allocate(0x40).ok);
+  cache.fill(0x40, c.initial);
+  const AccessResult r = cache.access(0x40, AccessClass::kWrite);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.needs_upgrade, c.expect_upgrade);
+  EXPECT_EQ(cache.state(0x40), c.expected_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WriteHits, MesiWriteHit,
+    ::testing::Values(WriteCase{LineState::kModified, false,
+                                LineState::kModified},
+                      WriteCase{LineState::kExclusive, false,
+                                LineState::kModified},
+                      WriteCase{LineState::kShared, true, LineState::kShared}));
+
+TEST(MesiInvariants, SupplyCountStats) {
+  Cache cache{CacheConfig{.size_bytes = 128, .line_bytes = 16,
+                          .associativity = 2}};
+  ASSERT_TRUE(cache.allocate(0x40).ok);
+  cache.fill(0x40, LineState::kExclusive);
+  cache.snoop(0x40, false);
+  EXPECT_EQ(cache.stats().supplies, 1u);
+  cache.snoop(0x40, true);
+  EXPECT_EQ(cache.stats().invalidations_received, 1u);
+}
+
+}  // namespace
+}  // namespace syncpat::cache

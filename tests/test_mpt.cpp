@@ -1,0 +1,117 @@
+#include "trace/mpt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace syncpat::trace {
+namespace {
+
+using testutil::ifetch;
+using testutil::load;
+using testutil::lock_acq;
+using testutil::lock_rel;
+using testutil::store;
+
+std::vector<Event> expand_all(const MptStream& stream) {
+  MptExpander expander(stream);
+  std::vector<Event> out;
+  Event e;
+  while (expander.next(e)) out.push_back(e);
+  return out;
+}
+
+TEST(Mpt, RoundTripSimpleBlock) {
+  std::vector<Event> events = {ifetch(0x100), load(0x8000'0000u, 2),
+                               ifetch(0x104), store(0x8000'0010u, 3)};
+  VectorTraceSource source(events);
+  const MptStream stream = compact(source);
+  EXPECT_EQ(expand_all(stream), events);
+}
+
+TEST(Mpt, RoundTripWithLockOps) {
+  std::vector<Event> events = {ifetch(0x100), lock_acq(3, 2),
+                               load(0x8000'0000u), lock_rel(3, 2),
+                               ifetch(0x104)};
+  VectorTraceSource source(events);
+  const MptStream stream = compact(source);
+  EXPECT_EQ(expand_all(stream), events);
+}
+
+TEST(Mpt, RepeatedBlocksShareDictionaryEntries) {
+  // The same basic block executed 100 times from the same address.
+  std::vector<Event> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(ifetch(0x200, 1));
+    events.push_back(load(0x8000'0000u + static_cast<std::uint32_t>(i) * 4, 2));
+    events.push_back(ifetch(0x204, 1));
+  }
+  VectorTraceSource source(events);
+  const MptStream stream = compact(source);
+  // 100 executions of (at most a couple of) skeletons.
+  EXPECT_LE(stream.dictionary.size(), 3u);
+  EXPECT_EQ(stream.executions.size(), 100u * 2);  // two ifetch-cut blocks each
+  EXPECT_EQ(expand_all(stream), events);
+}
+
+TEST(Mpt, CompressesLoopyTraces) {
+  std::vector<Event> events;
+  for (int i = 0; i < 500; ++i) {
+    events.push_back(ifetch(0x300, 1));
+    events.push_back(load(0x8000'0000u, 2));
+    events.push_back(store(0x8000'0004u, 1));
+  }
+  VectorTraceSource source(events);
+  const MptStream stream = compact(source);
+  const std::uint64_t raw_bytes = events.size() * 9;
+  EXPECT_LT(stream.compact_bytes(), raw_bytes);
+  EXPECT_EQ(stream.expanded_size(), events.size());
+}
+
+TEST(Mpt, EmptyTrace) {
+  VectorTraceSource source{};
+  const MptStream stream = compact(source);
+  EXPECT_TRUE(stream.executions.empty());
+  EXPECT_TRUE(expand_all(stream).empty());
+}
+
+TEST(Mpt, TraceWithoutIFetches) {
+  std::vector<Event> events = {load(0x8000'0000u, 1), store(0x8000'0004u, 2)};
+  VectorTraceSource source(events);
+  const MptStream stream = compact(source);
+  EXPECT_EQ(expand_all(stream), events);
+}
+
+TEST(Mpt, ExpanderResetReplays) {
+  std::vector<Event> events = {ifetch(0x100), load(0x8000'0000u)};
+  VectorTraceSource source(events);
+  const MptStream stream = compact(source);
+  MptExpander expander(stream);
+  Event e;
+  while (expander.next(e)) {
+  }
+  expander.reset();
+  EXPECT_EQ(collect(expander), events);
+}
+
+// Property test: MPT round-trip identity on every paper workload model.
+class MptRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(MptRoundTrip, GeneratorTraceSurvivesCompaction) {
+  const auto profiles = workload::paper_profiles();
+  const auto profile = profiles[static_cast<std::size_t>(GetParam())].scaled(512);
+  workload::ProfileTraceSource source(profile, 0);
+  std::vector<Event> original = collect(source);
+  source.reset();
+  const MptStream stream = compact(source);
+  EXPECT_EQ(stream.expanded_size(), original.size());
+  EXPECT_EQ(expand_all(stream), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, MptRoundTrip,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace syncpat::trace

@@ -1,0 +1,150 @@
+// Queuing-lock behaviour through the full machine (paper §2.4).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace syncpat::core {
+namespace {
+
+using namespace testutil;
+
+// N processors each acquire/release the same lock `rounds` times with a
+// critical section of `cs_gap` cycles.
+trace::ProgramTrace contended(std::uint32_t procs, int rounds,
+                              std::uint32_t cs_gap,
+                              std::uint32_t think_gap = 4) {
+  std::vector<std::vector<trace::Event>> traces(procs);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    for (int r = 0; r < rounds; ++r) {
+      traces[p].push_back(lock_acq(0, think_gap));
+      traces[p].push_back(load(shared_line(1), cs_gap));
+      traces[p].push_back(lock_rel(0, 2));
+    }
+  }
+  return make_program(std::move(traces));
+}
+
+TEST(QueuingLock, UncontendedAcquireReleaseCompletes) {
+  trace::ProgramTrace program = make_program({{
+      lock_acq(0, 1),
+      load(shared_line(1), 5),
+      lock_rel(0, 1),
+  }});
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kQueuing), program);
+  EXPECT_EQ(r.locks.acquisitions, 1u);
+  EXPECT_EQ(r.locks.transfers, 0u);
+  EXPECT_EQ(r.per_proc[0].stall_lock, 0u);  // never waited on a held lock
+}
+
+TEST(QueuingLock, UncontendedAcquireCostIsSmall) {
+  trace::ProgramTrace program = make_program({{
+      lock_acq(0, 1),
+      lock_rel(0, 1),
+  }});
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kQueuing), program);
+  // Acquire + release are one memory access each (6 cycles cold, 1 hot).
+  EXPECT_LE(r.per_proc[0].stall_cache, 14u);
+}
+
+TEST(QueuingLock, MutualExclusionUnderContention) {
+  trace::ProgramTrace program = contended(6, 20, 10);
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kQueuing), program);
+  // Every acquisition completed exactly once.
+  EXPECT_EQ(r.locks.acquisitions, 6u * 20u);
+  // With 6 processors and long sections, most hand-offs find waiters.
+  EXPECT_GT(r.locks.transfers, 60u);
+}
+
+TEST(QueuingLock, TransferLatencyIsOneToTwoCycles) {
+  trace::ProgramTrace program = contended(8, 30, 20);
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kQueuing), program);
+  EXPECT_GE(r.locks.transfer_cycles.mean(), 1.0);
+  EXPECT_LE(r.locks.transfer_cycles.mean(), 3.0);
+}
+
+TEST(QueuingLock, WaitersScaleWithProcessors) {
+  const SimulationResult few =
+      [&] {
+        auto p = contended(3, 20, 30);
+        return simulate(machine(sync::SchemeKind::kQueuing), p);
+      }();
+  const SimulationResult many =
+      [&] {
+        auto p = contended(10, 20, 30);
+        return simulate(machine(sync::SchemeKind::kQueuing), p);
+      }();
+  EXPECT_GT(many.locks.waiters_at_transfer.mean(),
+            few.locks.waiters_at_transfer.mean());
+  EXPECT_LE(few.locks.waiters_at_transfer.mean(), 2.0);
+  EXPECT_GT(many.locks.waiters_at_transfer.mean(), 4.0);
+}
+
+TEST(QueuingLock, PassiveWaitersGenerateNoBusTraffic) {
+  // One long critical section with everyone else queued: bus stays quiet
+  // while they wait (queuing locks spin on a local location).
+  trace::ProgramTrace program = contended(8, 2, 400);
+  MachineConfig config = machine(sync::SchemeKind::kQueuing);
+  config.num_procs = 8;
+  Simulator sim(config, program);
+  const SimulationResult r = sim.run();
+  // Traffic: lock ops + one CS load each + hand-offs.  Far below one
+  // transaction per waiting cycle.
+  EXPECT_LT(sim.bus().utilization(), 0.25);
+  EXPECT_GT(r.locks.waiters_at_transfer.mean(), 3.0);
+}
+
+TEST(QueuingLock, HoldTimeTracksCriticalSection) {
+  trace::ProgramTrace program = contended(4, 10, 50);
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kQueuing), program);
+  // Ideal hold = 50 (CS) + 2 (release gap) plus in-CS miss overhead.
+  EXPECT_GE(r.locks.hold_cycles.mean(), 50.0);
+  EXPECT_LE(r.locks.hold_cycles.mean(), 75.0);
+}
+
+TEST(QueuingLock, StallsAttributedToLockWait) {
+  trace::ProgramTrace program = contended(8, 20, 40);
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kQueuing), program);
+  EXPECT_GT(r.stall_lock_pct, 80.0);
+}
+
+TEST(QueuingLock, ExactVariantCompletesWithSameAcquisitions) {
+  trace::ProgramTrace program = contended(6, 15, 20);
+  const SimulationResult r =
+      simulate(machine(sync::SchemeKind::kQueuingExact), program);
+  EXPECT_EQ(r.locks.acquisitions, 6u * 15u);
+  EXPECT_EQ(r.scheme, std::string("queuing-exact"));
+}
+
+TEST(QueuingLock, ExactVariantSlowerButSameOrder) {
+  trace::ProgramTrace p1 = contended(8, 25, 20);
+  trace::ProgramTrace p2 = contended(8, 25, 20);
+  const SimulationResult approx =
+      simulate(machine(sync::SchemeKind::kQueuing), p1);
+  const SimulationResult exact =
+      simulate(machine(sync::SchemeKind::kQueuingExact), p2);
+  EXPECT_GE(exact.run_time, approx.run_time);
+  // The two extra accesses cost cycles but stay the same order of magnitude.
+  EXPECT_LT(static_cast<double>(exact.run_time),
+            1.5 * static_cast<double>(approx.run_time));
+  // Exact transfers go through a memory access: noticeably slower hand-off.
+  EXPECT_GT(exact.locks.transfer_cycles.mean(),
+            approx.locks.transfer_cycles.mean());
+}
+
+TEST(QueuingLock, ManyLocksIndependent) {
+  // Each processor uses its own lock: zero transfers anywhere.
+  std::vector<std::vector<trace::Event>> traces(4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    for (int r = 0; r < 10; ++r) {
+      traces[p].push_back(lock_acq(p + 1, 3));
+      traces[p].push_back(lock_rel(p + 1, 5));
+    }
+  }
+  trace::ProgramTrace program = make_program(std::move(traces));
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kQueuing), program);
+  EXPECT_EQ(r.locks.acquisitions, 40u);
+  EXPECT_EQ(r.locks.transfers, 0u);
+}
+
+}  // namespace
+}  // namespace syncpat::core

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "report/paper_tables.hpp"
+#include "report/per_lock.hpp"
+#include "report/table.hpp"
+#include "trace/address_map.hpp"
+
+namespace syncpat::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("Title");
+  t.columns({"Name", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "12345"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NotesAppended) {
+  Table t("T");
+  t.columns({"A"}).add_row({"x"}).note("a footnote");
+  EXPECT_NE(t.render().find("a footnote"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t("T");
+  t.columns({"A", "B"});
+  t.add_row({"1,000", "2"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"1,000\",2"), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  Table t("T");
+  t.columns({"A", "B"}).add_row({"1", "2"}).add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "A,B\n1,2\n3,4\n");
+}
+
+TEST(PaperReference, AllSixBenchmarksPresent) {
+  const auto& refs = paper_reference();
+  ASSERT_EQ(refs.size(), 6u);
+  EXPECT_STREQ(refs[0].name, "Grav");
+  EXPECT_STREQ(refs[5].name, "Topopt");
+  EXPECT_FALSE(refs[5].has_locks);
+  for (std::size_t i = 0; i + 1 < 5; ++i) EXPECT_TRUE(refs[i].has_locks);
+}
+
+TEST(PaperReference, Table3ValuesTranscribed) {
+  const auto& refs = paper_reference();
+  EXPECT_DOUBLE_EQ(refs[0].q_runtime, 9228727.0);
+  EXPECT_DOUBLE_EQ(refs[0].q_util, 32.6);
+  EXPECT_DOUBLE_EQ(refs[3].q_held, 3766.0);
+  EXPECT_DOUBLE_EQ(refs[1].t_waiters, 6.21);
+  EXPECT_DOUBLE_EQ(refs[2].w_diff, 0.31);
+}
+
+TEST(PaperTables, RuntimeTableHasRowPerResult) {
+  core::SimulationResult r;
+  r.program = "Grav";
+  r.run_time = 100;
+  r.avg_utilization = 0.5;
+  Table t = table_runtime(3, {r}, 1);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(PaperTables, ContentionTableSkipsLocklessPrograms) {
+  core::SimulationResult grav, topopt;
+  grav.program = "Grav";
+  topopt.program = "Topopt";
+  Table t = table_contention(4, {grav, topopt}, 1);
+  EXPECT_EQ(t.num_rows(), 1u);  // Topopt has no lock row
+}
+
+TEST(PerLockTable, SortsByAcquisitionsAndCaps) {
+  sync::LockStatsCollector stats;
+  const std::uint32_t hot = trace::AddressMap::lock_addr(0);
+  const std::uint32_t cold = trace::AddressMap::lock_addr(5);
+  for (int i = 0; i < 10; ++i) {
+    stats.acquired(hot, 0, static_cast<std::uint64_t>(i * 100));
+    stats.released(hot, static_cast<std::uint64_t>(i * 100 + 40), false, 0);
+  }
+  stats.acquired(cold, 1, 0);
+  stats.released(cold, 20, false, 0);
+
+  Table t = per_lock_table(stats, 1);
+  const std::string s = t.render();
+  EXPECT_NE(s.find("lock 0"), std::string::npos);   // hot lock shown
+  EXPECT_EQ(s.find("lock 5"), std::string::npos);   // cold lock capped away
+  EXPECT_NE(s.find("1 more locks omitted"), std::string::npos);
+}
+
+TEST(PerLockTable, EmptyCollectorRendersEmptyTable) {
+  sync::LockStatsCollector stats;
+  Table t = per_lock_table(stats);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(PaperTables, WeakTableComputesDifference) {
+  core::SimulationResult sc, wo;
+  sc.program = wo.program = "Qsort";
+  sc.run_time = 1000;
+  wo.run_time = 990;
+  Table t = table7_weak({wo}, {sc}, 1);
+  EXPECT_NE(t.render().find("1.00"), std::string::npos);  // 1% improvement
+}
+
+}  // namespace
+}  // namespace syncpat::report

@@ -1,0 +1,128 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace syncpat::util {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb(4);
+  rb.push_back(1);
+  rb.push_back(2);
+  rb.push_back(3);
+  EXPECT_EQ(rb.pop_front(), 1);
+  EXPECT_EQ(rb.pop_front(), 2);
+  EXPECT_EQ(rb.pop_front(), 3);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, FullAtCapacity) {
+  RingBuffer<int> rb(2);
+  rb.push_back(1);
+  EXPECT_FALSE(rb.full());
+  rb.push_back(2);
+  EXPECT_TRUE(rb.full());
+}
+
+TEST(RingBuffer, PushFrontBypassesQueue) {
+  RingBuffer<int> rb(4);
+  rb.push_back(1);
+  rb.push_back(2);
+  rb.push_front(99);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.pop_front(), 99);
+  EXPECT_EQ(rb.pop_front(), 1);
+  EXPECT_EQ(rb.pop_front(), 2);
+}
+
+TEST(RingBuffer, PushFrontIntoEmpty) {
+  RingBuffer<int> rb(2);
+  rb.push_front(7);
+  EXPECT_EQ(rb.front(), 7);
+  EXPECT_EQ(rb.pop_front(), 7);
+}
+
+TEST(RingBuffer, WrapAroundPreservesOrder) {
+  RingBuffer<int> rb(3);
+  for (int round = 0; round < 10; ++round) {
+    rb.push_back(round * 2);
+    rb.push_back(round * 2 + 1);
+    EXPECT_EQ(rb.pop_front(), round * 2);
+    EXPECT_EQ(rb.pop_front(), round * 2 + 1);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, AtIndexesFromHead) {
+  RingBuffer<int> rb(4);
+  rb.push_back(10);
+  rb.push_back(20);
+  rb.push_back(30);
+  rb.pop_front();
+  rb.push_back(40);  // forces wrap with capacity 4 eventually
+  EXPECT_EQ(rb.at(0), 20);
+  EXPECT_EQ(rb.at(1), 30);
+  EXPECT_EQ(rb.at(2), 40);
+}
+
+TEST(RingBuffer, RemoveAtMiddlePreservesOrder) {
+  RingBuffer<int> rb(4);
+  rb.push_back(1);
+  rb.push_back(2);
+  rb.push_back(3);
+  rb.push_back(4);
+  EXPECT_EQ(rb.remove_at(1), 2);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.pop_front(), 1);
+  EXPECT_EQ(rb.pop_front(), 3);
+  EXPECT_EQ(rb.pop_front(), 4);
+}
+
+TEST(RingBuffer, RemoveAtHeadAndTail) {
+  RingBuffer<int> rb(3);
+  rb.push_back(1);
+  rb.push_back(2);
+  rb.push_back(3);
+  EXPECT_EQ(rb.remove_at(0), 1);
+  EXPECT_EQ(rb.remove_at(1), 3);
+  EXPECT_EQ(rb.pop_front(), 2);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push_back(1);
+  rb.push_back(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push_back(3);
+  EXPECT_EQ(rb.front(), 3);
+}
+
+TEST(RingBuffer, CapacityOneWorks) {
+  RingBuffer<std::string> rb(1);
+  rb.push_back("x");
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.pop_front(), "x");
+  rb.push_front("y");
+  EXPECT_EQ(rb.pop_front(), "y");
+}
+
+TEST(RingBuffer, MoveOnlyFriendly) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push_back(std::make_unique<int>(5));
+  auto p = rb.pop_front();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace syncpat::util

@@ -1,0 +1,148 @@
+// Stress and conservation properties over a configuration matrix: every
+// (scheme x consistency x write-policy x buffer-depth) combination must
+// complete a randomized workload while preserving the accounting invariants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/simulator.hpp"
+#include "test_util.hpp"
+#include "trace/analyzer.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace syncpat::core {
+namespace {
+
+using namespace testutil;
+
+workload::BenchmarkProfile stress_profile(std::uint64_t seed) {
+  workload::BenchmarkProfile p;
+  p.name = "stress";
+  p.num_procs = 6;
+  p.refs_per_proc = 8'000;
+  p.data_ref_fraction = 0.4;
+  p.work_cycles_per_ref = 2.0;
+  p.locality.private_fraction = 0.3;
+  p.locality.cold_fraction = 0.1;
+  p.locality.cold_region_bytes = 64 * 1024;
+  p.locality.shared_hot_bytes = 2 * 1024;  // hot sharing: heavy coherence
+  p.locality.shared_rerefs = 0.4;
+  p.locality.write_fraction = 0.4;
+  p.locking.pairs_per_proc = 60;
+  p.locking.nested_per_proc = 20;
+  p.locking.cs_work_cycles = 50;
+  p.locking.num_locks = 2;
+  p.locking.dominant_weight = 0.8;
+  p.locking.barriers_per_proc = 4;
+  p.seed = seed;
+  return p;
+}
+
+using Config = std::tuple<sync::SchemeKind, bus::ConsistencyModel,
+                          cache::WritePolicy, std::uint32_t>;
+
+class StressMatrix : public ::testing::TestWithParam<Config> {};
+
+TEST_P(StressMatrix, CompletesWithConsistentAccounting) {
+  const auto [scheme, model, policy, depth] = GetParam();
+  workload::BenchmarkProfile profile = stress_profile(0x57e55);
+  trace::ProgramTrace program = workload::make_program_trace(profile);
+  const trace::IdealProgramStats ideal = trace::analyze_program(program);
+
+  MachineConfig config;
+  config.lock_scheme = scheme;
+  config.consistency = model;
+  config.write_policy = policy;
+  config.cache_bus_buffer_depth = depth;
+  config.num_procs = profile.num_procs;
+  Simulator sim(config, program);
+  const SimulationResult r = sim.run();
+
+  // Conservation: every work cycle of the ideal trace was executed.
+  for (std::uint32_t p = 0; p < profile.num_procs; ++p) {
+    EXPECT_EQ(r.per_proc[p].work_cycles, ideal.per_proc[p].work_cycles)
+        << "proc " << p;
+    // completion = work + stalls (every cycle is one or the other).
+    EXPECT_EQ(r.per_proc[p].work_cycles + r.per_proc[p].total_stalls(),
+              r.per_proc[p].completion_cycle)
+        << "proc " << p;
+  }
+
+  // Every lock pair acquired and released; every barrier completed.
+  std::uint64_t ideal_pairs = 0;
+  for (const auto& p : ideal.per_proc) ideal_pairs += p.lock_pairs;
+  EXPECT_EQ(r.locks.acquisitions, ideal_pairs);
+  EXPECT_EQ(r.barriers_completed, 4u);
+
+  // Stall-cause percentages are a partition.
+  if (r.stall_cache_pct + r.stall_lock_pct > 0.0) {
+    EXPECT_NEAR(r.stall_cache_pct + r.stall_lock_pct, 100.0, 0.01);
+  }
+
+  // The bus was used but never over-accounted.
+  EXPECT_GT(r.traffic.total(), 0u);
+  EXPECT_LE(r.bus_utilization, 1.0);
+  EXPECT_GT(r.run_time, 0u);
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<Config>& info) {
+  std::string name = sync::scheme_kind_name(std::get<0>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  name += std::get<1>(info.param) == bus::ConsistencyModel::kWeak ? "_wo" : "_sc";
+  name += std::get<2>(info.param) == cache::WritePolicy::kWriteThrough ? "_wt"
+                                                                       : "_wb";
+  name += "_d" + std::to_string(std::get<3>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StressMatrix,
+    ::testing::Combine(
+        ::testing::Values(sync::SchemeKind::kQueuing,
+                          sync::SchemeKind::kQueuingExact,
+                          sync::SchemeKind::kTtas, sync::SchemeKind::kTas,
+                          sync::SchemeKind::kTasBackoff,
+                          sync::SchemeKind::kTicket,
+                          sync::SchemeKind::kAnderson),
+        ::testing::Values(bus::ConsistencyModel::kSequential,
+                          bus::ConsistencyModel::kWeak),
+        ::testing::Values(cache::WritePolicy::kWriteBack,
+                          cache::WritePolicy::kWriteThrough),
+        ::testing::Values(1u, 4u)),
+    matrix_name);
+
+TEST(StressSeeds, ManySeedsOneConfig) {
+  // Shake out rare interleavings with different workload seeds.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::BenchmarkProfile profile = stress_profile(seed * 7919);
+    trace::ProgramTrace program = workload::make_program_trace(profile);
+    MachineConfig config;
+    config.lock_scheme = sync::SchemeKind::kTtas;
+    config.num_procs = profile.num_procs;
+    Simulator sim(config, program);
+    const SimulationResult r = sim.run();
+    EXPECT_GT(r.run_time, 0u) << "seed " << seed;
+    EXPECT_EQ(r.barriers_completed, 4u) << "seed " << seed;
+  }
+}
+
+TEST(StressTiny, SingleEventTracesInEveryCombination) {
+  // Degenerate traces must not trip any engine assertion.
+  for (const auto scheme : sync::all_scheme_kinds()) {
+    for (const auto model : {bus::ConsistencyModel::kSequential,
+                             bus::ConsistencyModel::kWeak}) {
+      trace::ProgramTrace program = make_program({
+          {lock_acq(0, 1), lock_rel(0, 1)},
+          {store(shared_line(0), 1)},
+      });
+      const SimulationResult r = simulate(machine(scheme, model), program);
+      EXPECT_EQ(r.locks.acquisitions, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace syncpat::core

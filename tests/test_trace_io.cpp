@@ -1,0 +1,103 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace syncpat::trace {
+namespace {
+
+using testutil::ifetch;
+using testutil::load;
+using testutil::lock_acq;
+using testutil::lock_rel;
+using testutil::make_program;
+using testutil::store;
+
+TEST(TraceIo, RoundTripSingleProcessor) {
+  std::vector<Event> events = {ifetch(0x100), load(0x4000'0000u, 3),
+                               store(0x8000'0010u, 2)};
+  ProgramTrace program = make_program({events}, "one");
+
+  std::stringstream buf;
+  write_program_trace(buf, program);
+  ProgramTrace back = read_program_trace(buf);
+
+  EXPECT_EQ(back.name, "one");
+  ASSERT_EQ(back.num_procs(), 1u);
+  EXPECT_EQ(collect(*back.per_proc[0]), events);
+}
+
+TEST(TraceIo, RoundTripMultiProcessorPreservesStreams) {
+  std::vector<Event> p0 = {load(0x8000'0000u), lock_acq(0), lock_rel(0)};
+  std::vector<Event> p1 = {store(0x8000'0040u, 5)};
+  std::vector<Event> p2 = {};
+  ProgramTrace program = make_program({p0, p1, p2}, "multi");
+
+  std::stringstream buf;
+  write_program_trace(buf, program);
+  ProgramTrace back = read_program_trace(buf);
+
+  ASSERT_EQ(back.num_procs(), 3u);
+  EXPECT_EQ(collect(*back.per_proc[0]), p0);
+  EXPECT_EQ(collect(*back.per_proc[1]), p1);
+  EXPECT_EQ(collect(*back.per_proc[2]), p2);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOPE garbage";
+  EXPECT_THROW(read_program_trace(buf), TraceIoError);
+}
+
+TEST(TraceIo, RejectsTruncation) {
+  ProgramTrace program = make_program({{load(1), load(2), load(3)}});
+  std::stringstream buf;
+  write_program_trace(buf, program);
+  const std::string full = buf.str();
+  for (std::size_t cut : {full.size() - 1, full.size() / 2, std::size_t{5}}) {
+    std::stringstream cut_buf(full.substr(0, cut));
+    EXPECT_THROW(read_program_trace(cut_buf), TraceIoError) << "cut=" << cut;
+  }
+}
+
+TEST(TraceIo, RejectsInvalidOpcode) {
+  ProgramTrace program = make_program({{load(0x10)}});
+  std::stringstream buf;
+  write_program_trace(buf, program);
+  std::string bytes = buf.str();
+  bytes[bytes.size() - 1] = 0x7f;  // last byte is the single event's op
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_program_trace(bad), TraceIoError);
+}
+
+TEST(TraceIo, FileSaveAndLoad) {
+  ProgramTrace program = make_program({{load(0x8000'1000u, 7)}}, "file-test");
+  const std::string path = ::testing::TempDir() + "/syncpat_io_test.trc";
+  save_program_trace(path, program);
+  ProgramTrace back = load_program_trace(path);
+  EXPECT_EQ(back.name, "file-test");
+  ASSERT_EQ(back.num_procs(), 1u);
+  EXPECT_EQ(collect(*back.per_proc[0]).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_program_trace("/nonexistent/dir/x.trc"), TraceIoError);
+}
+
+TEST(TraceIo, SourcesAreResetBeforeWriting) {
+  ProgramTrace program = make_program({{load(1), load(2)}});
+  Event e;
+  program.per_proc[0]->next(e);  // advance the cursor
+  std::stringstream buf;
+  write_program_trace(buf, program);  // must reset and write both events
+  ProgramTrace back = read_program_trace(buf);
+  EXPECT_EQ(collect(*back.per_proc[0]).size(), 2u);
+}
+
+}  // namespace
+}  // namespace syncpat::trace

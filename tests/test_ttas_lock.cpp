@@ -1,0 +1,130 @@
+// Test-and-test-and-set behaviour through the real coherence protocol.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "test_util.hpp"
+
+namespace syncpat::core {
+namespace {
+
+using namespace testutil;
+
+trace::ProgramTrace contended(std::uint32_t procs, int rounds,
+                              std::uint32_t cs_gap) {
+  std::vector<std::vector<trace::Event>> traces(procs);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    for (int r = 0; r < rounds; ++r) {
+      traces[p].push_back(lock_acq(0, 4));
+      traces[p].push_back(load(shared_line(1), cs_gap));
+      traces[p].push_back(lock_rel(0, 2));
+    }
+  }
+  return make_program(std::move(traces));
+}
+
+TEST(TtasLock, UncontendedCompletes) {
+  trace::ProgramTrace program = make_program({{
+      lock_acq(0, 1),
+      load(shared_line(1), 5),
+      lock_rel(0, 1),
+  }});
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kTtas), program);
+  EXPECT_EQ(r.locks.acquisitions, 1u);
+  EXPECT_EQ(r.locks.transfers, 0u);
+}
+
+TEST(TtasLock, RepeatedUncontendedReacquireIsCheap) {
+  // The lock line stays in the owner's cache: re-acquires cost ~an upgrade.
+  std::vector<trace::Event> events;
+  for (int i = 0; i < 20; ++i) {
+    events.push_back(lock_acq(0, 2));
+    events.push_back(lock_rel(0, 2));
+  }
+  trace::ProgramTrace program = make_program({events});
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kTtas), program);
+  // First round pays the cold misses; the rest are nearly free.
+  EXPECT_LT(r.per_proc[0].stall_cache + r.per_proc[0].stall_lock, 40u);
+}
+
+TEST(TtasLock, MutualExclusionUnderContention) {
+  trace::ProgramTrace program = contended(6, 20, 10);
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kTtas), program);
+  EXPECT_EQ(r.locks.acquisitions, 6u * 20u);
+  EXPECT_GT(r.locks.transfers, 60u);
+}
+
+TEST(TtasLock, TransferLatencyGrowsToTensOfCycles) {
+  trace::ProgramTrace program = contended(10, 25, 30);
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kTtas), program);
+  // The paper reports 21-25 cycles with many waiters.
+  EXPECT_GE(r.locks.transfer_cycles.mean(), 12.0);
+  EXPECT_LE(r.locks.transfer_cycles.mean(), 35.0);
+}
+
+TEST(TtasLock, SpinnersAreQuietWhileLockHeld) {
+  // A very long critical section: spinners hold Shared copies and generate
+  // no traffic until the release.
+  std::vector<std::vector<trace::Event>> traces(6);
+  traces[0] = {lock_acq(0, 1), load(shared_line(1), 3000), lock_rel(0, 1)};
+  for (std::uint32_t p = 1; p < 6; ++p) {
+    traces[p] = {lock_acq(0, 20), lock_rel(0, 1)};
+  }
+  trace::ProgramTrace program = make_program(std::move(traces));
+  MachineConfig config = machine(sync::SchemeKind::kTtas);
+  config.num_procs = 6;
+  Simulator sim(config, program);
+  const SimulationResult r = sim.run();
+  // ~3000 cycles of spinning with in-cache reads: bus mostly idle.
+  EXPECT_LT(sim.bus().utilization(), 0.15);
+  EXPECT_EQ(r.locks.acquisitions, 6u);  // each processor acquires once
+}
+
+TEST(TtasLock, BurstTrafficOnRelease) {
+  // Compare bus busy cycles: queuing vs T&T&S on the identical workload.
+  trace::ProgramTrace p1 = contended(10, 20, 30);
+  trace::ProgramTrace p2 = contended(10, 20, 30);
+  MachineConfig cq = machine(sync::SchemeKind::kQueuing);
+  cq.num_procs = 10;
+  Simulator sq(cq, p1);
+  sq.run();
+  MachineConfig ct = machine(sync::SchemeKind::kTtas);
+  ct.num_procs = 10;
+  Simulator st(ct, p2);
+  st.run();
+  EXPECT_GT(st.bus().busy_cycles(), sq.bus().busy_cycles() * 3 / 2);
+}
+
+TEST(TtasLock, SlowerThanQueuingUnderContention) {
+  trace::ProgramTrace p1 = contended(10, 30, 20);
+  trace::ProgramTrace p2 = contended(10, 30, 20);
+  const SimulationResult q = simulate(machine(sync::SchemeKind::kQueuing), p1);
+  const SimulationResult t = simulate(machine(sync::SchemeKind::kTtas), p2);
+  EXPECT_GT(t.run_time, q.run_time);
+}
+
+TEST(TtasLock, NoWaiterMeansSilentOrCheapRelease) {
+  trace::ProgramTrace program = make_program({{
+      lock_acq(0, 1),
+      lock_rel(0, 10),
+      ifetch(0x100, 10),
+  }});
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kTtas), program);
+  EXPECT_EQ(r.locks.transfers, 0u);
+  // Acquire: read miss (6) + TAS upgrade-ish; release: silent store.
+  EXPECT_LE(r.per_proc[0].total_stalls(), 14u);
+}
+
+TEST(TtasLock, HoldTimesSlightlyAboveQueuing) {
+  // Paper: transferring T&T&S locks are held five-six cycles longer.
+  trace::ProgramTrace p1 = contended(8, 30, 40);
+  trace::ProgramTrace p2 = contended(8, 30, 40);
+  const SimulationResult q = simulate(machine(sync::SchemeKind::kQueuing), p1);
+  const SimulationResult t = simulate(machine(sync::SchemeKind::kTtas), p2);
+  EXPECT_GE(t.locks.hold_cycles_transfer.mean(),
+            q.locks.hold_cycles_transfer.mean() - 2.0);
+  EXPECT_LE(t.locks.hold_cycles_transfer.mean(),
+            q.locks.hold_cycles_transfer.mean() + 40.0);
+}
+
+}  // namespace
+}  // namespace syncpat::core

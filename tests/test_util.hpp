@@ -1,0 +1,73 @@
+// Shared helpers for the syncpat test suite.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/machine_config.hpp"
+#include "core/simulator.hpp"
+#include "trace/address_map.hpp"
+#include "trace/source.hpp"
+
+namespace syncpat::testutil {
+
+using trace::Event;
+using trace::Op;
+
+/// Shorthand event constructors.
+inline Event load(std::uint32_t addr, std::uint32_t gap = 1) {
+  return Event{addr, gap, Op::kLoad};
+}
+inline Event store(std::uint32_t addr, std::uint32_t gap = 1) {
+  return Event{addr, gap, Op::kStore};
+}
+inline Event ifetch(std::uint32_t addr, std::uint32_t gap = 1) {
+  return Event{addr, gap, Op::kIFetch};
+}
+inline Event lock_acq(std::uint32_t lock_id, std::uint32_t gap = 1) {
+  return Event{trace::AddressMap::lock_addr(lock_id), gap, Op::kLockAcq};
+}
+inline Event lock_rel(std::uint32_t lock_id, std::uint32_t gap = 1) {
+  return Event{trace::AddressMap::lock_addr(lock_id), gap, Op::kLockRel};
+}
+
+/// Builds a ProgramTrace from per-processor event lists.
+inline trace::ProgramTrace make_program(
+    std::vector<std::vector<Event>> per_proc, std::string name = "test") {
+  trace::ProgramTrace program;
+  program.name = std::move(name);
+  for (auto& events : per_proc) {
+    program.per_proc.push_back(
+        std::make_unique<trace::VectorTraceSource>(std::move(events)));
+  }
+  return program;
+}
+
+/// Runs a program on the given config and returns the results.
+inline core::SimulationResult simulate(core::MachineConfig config,
+                                       trace::ProgramTrace& program) {
+  config.num_procs = static_cast<std::uint32_t>(program.num_procs());
+  core::Simulator sim(config, program);
+  return sim.run();
+}
+
+/// Default machine with a chosen lock scheme / consistency model.
+inline core::MachineConfig machine(
+    sync::SchemeKind scheme = sync::SchemeKind::kQueuing,
+    bus::ConsistencyModel model = bus::ConsistencyModel::kSequential) {
+  core::MachineConfig config;
+  config.lock_scheme = scheme;
+  config.consistency = model;
+  return config;
+}
+
+/// Addresses in distinct regions for coherence tests: shared lines 64 bytes
+/// apart (never in the same 16-byte line).
+inline std::uint32_t shared_line(std::uint32_t i) {
+  return trace::AddressMap::shared_addr(i * 64);
+}
+
+}  // namespace syncpat::testutil

@@ -1,0 +1,175 @@
+// Weak-ordering model behaviour (paper §4).
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "test_util.hpp"
+
+namespace syncpat::core {
+namespace {
+
+using namespace testutil;
+
+TEST(WeakOrdering, WriteMissDoesNotStallProcessor) {
+  // Warm the code line first, so the only stalls can come from the store.
+  trace::ProgramTrace program = make_program({{
+      ifetch(0x100, 1),
+      store(shared_line(0), 10),
+      ifetch(0x104, 10),  // proceeds while the write is in flight (same line)
+  }});
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_EQ(r.per_proc[0].stall_cache, 6u);  // only the cold ifetch miss
+}
+
+TEST(WeakOrdering, SameWriteMissStallsUnderSequentialConsistency) {
+  trace::ProgramTrace program = make_program({{
+      ifetch(0x100, 1),
+      store(shared_line(0), 10),
+      ifetch(0x104, 10),
+  }});
+  const SimulationResult r = simulate(machine(), program);
+  EXPECT_EQ(r.per_proc[0].stall_cache, 12u);  // ifetch miss + write miss
+}
+
+TEST(WeakOrdering, ReadMissStillStalls) {
+  trace::ProgramTrace program = make_program({{load(shared_line(0), 1)}});
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_EQ(r.per_proc[0].stall_cache, 6u);
+}
+
+TEST(WeakOrdering, ReadBypassesBufferedWrites) {
+  // Back-to-back store misses arrive faster than the memory pipeline can
+  // retire them, so writes pile up in the buffer; the load's transaction
+  // then jumps the queue (bypass counter increments).
+  trace::ProgramTrace program = make_program({{
+      store(shared_line(0), 1),
+      store(shared_line(1), 1),
+      store(shared_line(2), 1),
+      store(shared_line(3), 1),
+      store(shared_line(4), 1),
+      store(shared_line(5), 1),
+      load(shared_line(6), 1),
+  }});
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_GE(r.read_bypasses, 1u);
+}
+
+TEST(WeakOrdering, NoBypassPastSameLineWrite) {
+  trace::ProgramTrace program = make_program({{
+      store(shared_line(0), 1),
+      load(shared_line(0) + 4, 1),  // same line: must not bypass
+  }});
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_EQ(r.read_bypasses, 0u);
+}
+
+TEST(WeakOrdering, FenceDrainsBeforeLockOp) {
+  // A store miss immediately followed by a lock acquire: the sync must wait
+  // for the buffered access (counted in syncs_with_pending).
+  trace::ProgramTrace program = make_program({{
+      store(shared_line(0), 1),
+      lock_acq(0, 1),
+      lock_rel(0, 5),
+  }});
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_EQ(r.syncs, 2u);
+  EXPECT_GE(r.syncs_with_pending, 1u);
+}
+
+TEST(WeakOrdering, IdleSyncFindsNothingPending) {
+  trace::ProgramTrace program = make_program({{
+      store(shared_line(0), 1),
+      ifetch(0x100, 100),  // plenty of time for the write to complete
+      lock_acq(0, 1),
+      lock_rel(0, 5),
+  }});
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_EQ(r.syncs_with_pending, 0u);
+}
+
+TEST(WeakOrdering, CoherenceStateIdenticalToSequential) {
+  auto build = [] {
+    return make_program({
+        {store(shared_line(0), 1), load(shared_line(1), 5)},
+        {load(shared_line(0), 40)},
+    });
+  };
+  trace::ProgramTrace p1 = build();
+  trace::ProgramTrace p2 = build();
+  MachineConfig sc = machine();
+  sc.num_procs = 2;
+  Simulator sim_sc(sc, p1);
+  sim_sc.run();
+  MachineConfig wo = machine(sync::SchemeKind::kQueuing,
+                             bus::ConsistencyModel::kWeak);
+  wo.num_procs = 2;
+  Simulator sim_wo(wo, p2);
+  sim_wo.run();
+  EXPECT_EQ(sim_sc.cache_of(0).state(shared_line(0)),
+            sim_wo.cache_of(0).state(shared_line(0)));
+  EXPECT_EQ(sim_sc.cache_of(1).state(shared_line(0)),
+            sim_wo.cache_of(1).state(shared_line(0)));
+}
+
+TEST(WeakOrdering, BufferFullEventuallyStalls) {
+  // Enough back-to-back store misses to distinct lines overflow the 4-deep
+  // buffer; the processor must stall at some point but still completes.
+  std::vector<trace::Event> events;
+  for (std::uint32_t i = 0; i < 12; ++i) events.push_back(store(shared_line(i), 1));
+  trace::ProgramTrace program = make_program({events});
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_GT(r.per_proc[0].stall_cache, 0u);
+  EXPECT_EQ(r.write_hit_ratio, 0.0);  // all 12 were misses
+}
+
+TEST(WeakOrdering, StoreMergesIntoInFlightOwnershipFill) {
+  trace::ProgramTrace program = make_program({{
+      store(shared_line(0), 1),
+      store(shared_line(0) + 4, 1),  // coalesces into the pending ReadX
+      store(shared_line(0) + 8, 1),
+  }});
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_EQ(r.per_proc[0].stall_cache, 0u);
+  EXPECT_EQ(r.run_time, r.per_proc[0].completion_cycle);
+}
+
+TEST(WeakOrdering, UpgradeInvalidatedWhileQueuedBecomesWriteMiss) {
+  // P0 holds the line Shared and buffers an upgrade; P1's write invalidates
+  // it before the upgrade wins the bus; P0's write must still perform (as a
+  // converted ReadX) and the final owner is whoever wrote last.
+  trace::ProgramTrace program = make_program({
+      {load(shared_line(0), 1), ifetch(0x100, 28), store(shared_line(0), 1),
+       ifetch(0x104, 30)},
+      {load(shared_line(0), 10), store(shared_line(0), 19)},
+  });
+  const SimulationResult r = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), program);
+  EXPECT_GT(r.run_time, 0u);  // completes without deadlock or assert
+}
+
+TEST(WeakOrdering, RuntimeNeverMuchWorseOnQuietWorkloads) {
+  auto build = [] {
+    std::vector<trace::Event> events;
+    for (std::uint32_t i = 0; i < 300; ++i) {
+      events.push_back(load(shared_line(i % 40), 2));
+      if (i % 7 == 0) events.push_back(store(shared_line(100 + i), 1));
+    }
+    return make_program({events, events});
+  };
+  trace::ProgramTrace p1 = build();
+  trace::ProgramTrace p2 = build();
+  const SimulationResult sc = simulate(machine(), p1);
+  const SimulationResult wo = simulate(
+      machine(sync::SchemeKind::kQueuing, bus::ConsistencyModel::kWeak), p2);
+  EXPECT_LE(wo.run_time, sc.run_time);  // hiding write misses helps here
+}
+
+}  // namespace
+}  // namespace syncpat::core

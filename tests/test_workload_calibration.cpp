@@ -1,0 +1,85 @@
+// Calibration property tests: the ideal analyzer must recover every
+// published Table 1/2 statistic from each benchmark model (the substitution
+// contract of DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "trace/analyzer.hpp"
+#include "workload/profiles.hpp"
+
+namespace syncpat::workload {
+namespace {
+
+struct Target {
+  const char* name;
+  std::uint32_t procs;
+  double work_k, refs_k, data_k, shared_k;       // Table 1
+  double pairs, nested, avg_held, pct_time;      // Table 2
+};
+
+// Values from Tables 1 and 2 of the paper.
+const Target kTargets[] = {
+    {"Grav", 10, 2841, 1185, 423, 377, 6389, 2579, 200, 39.8},
+    {"Pdsa", 12, 2458, 1206, 431, 410, 3110, 1467, 190, 20.7},
+    {"FullConn", 12, 3848, 967, 346, 332, 652, 134, 334, 5.5},
+    {"Pverify", 12, 5544, 2431, 682, 254, 555, 0, 3642, 36.5},
+    {"Qsort", 12, 2825, 1177, 252, 142, 212, 0, 52, 0.3},
+    {"Topopt", 9, 10182, 4135, 1113, 413, 0, 0, 0, 0.0},
+};
+
+constexpr std::uint64_t kScale = 16;  // fast but statistically stable
+
+class Calibration : public ::testing::TestWithParam<int> {};
+
+TEST_P(Calibration, Table1StatsRecovered) {
+  const Target& t = kTargets[GetParam()];
+  const auto profiles = paper_profiles();
+  const auto& profile = profiles[static_cast<std::size_t>(GetParam())];
+  ASSERT_EQ(profile.name, t.name);
+  const trace::IdealProgramStats s = core::run_ideal(profile, kScale);
+
+  EXPECT_EQ(s.num_procs, t.procs);
+  const double k = static_cast<double>(kScale) / 1000.0;
+  EXPECT_NEAR(s.avg_refs_all() * k, t.refs_k, t.refs_k * 0.02);
+  EXPECT_NEAR(s.avg_work_cycles() * k, t.work_k, t.work_k * 0.03);
+  EXPECT_NEAR(s.avg_refs_data() * k, t.data_k, t.data_k * 0.05);
+  EXPECT_NEAR(s.avg_refs_shared() * k, t.shared_k, t.shared_k * 0.06);
+}
+
+TEST_P(Calibration, Table2LockStatsRecovered) {
+  const Target& t = kTargets[GetParam()];
+  const auto profiles = paper_profiles();
+  const auto& profile = profiles[static_cast<std::size_t>(GetParam())];
+  const trace::IdealProgramStats s = core::run_ideal(profile, kScale);
+
+  const double k = static_cast<double>(kScale);
+  if (t.pairs == 0) {
+    EXPECT_EQ(s.avg_lock_pairs(), 0.0);
+    return;
+  }
+  EXPECT_NEAR(s.avg_lock_pairs() * k, t.pairs, t.pairs * 0.10);
+  EXPECT_NEAR(s.avg_nested_pairs() * k, t.nested,
+              std::max(t.nested * 0.15, 8.0));
+  EXPECT_NEAR(s.avg_hold_per_pair(), t.avg_held, t.avg_held * 0.20);
+  EXPECT_NEAR(100.0 * s.held_time_fraction(), t.pct_time,
+              std::max(t.pct_time * 0.15, 0.25));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBenchmarks, Calibration, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kTargets[info.param].name;
+                         });
+
+TEST(CalibrationScaleInvariance, RatesSurviveScaling) {
+  // Scale-invariant quantities: the held-time fraction and reference mix of
+  // a profile are the same at different trace lengths.
+  const auto profile = grav_profile();
+  const auto s8 = core::run_ideal(profile, 8);
+  const auto s32 = core::run_ideal(profile, 32);
+  EXPECT_NEAR(s8.held_time_fraction(), s32.held_time_fraction(), 0.02);
+  EXPECT_NEAR(s8.avg_refs_data() / s8.avg_refs_all(),
+              s32.avg_refs_data() / s32.avg_refs_all(), 0.01);
+}
+
+}  // namespace
+}  // namespace syncpat::workload

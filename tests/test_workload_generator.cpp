@@ -1,0 +1,179 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/analyzer.hpp"
+#include "trace/address_map.hpp"
+#include "workload/profiles.hpp"
+
+namespace syncpat::workload {
+namespace {
+
+BenchmarkProfile tiny_profile() {
+  BenchmarkProfile p;
+  p.name = "tiny";
+  p.num_procs = 4;
+  p.refs_per_proc = 20'000;
+  p.data_ref_fraction = 0.35;
+  p.work_cycles_per_ref = 2.5;
+  p.locking.pairs_per_proc = 120;
+  p.locking.nested_per_proc = 40;
+  p.locking.cs_work_cycles = 80;
+  p.locking.num_locks = 3;
+  p.locking.dominant_weight = 0.6;
+  p.seed = 0x7171;
+  return p;
+}
+
+TEST(Generator, DeterministicPerSeedAndProc) {
+  ProfileTraceSource a(tiny_profile(), 1);
+  ProfileTraceSource b(tiny_profile(), 1);
+  trace::Event ea, eb;
+  for (int i = 0; i < 5000; ++i) {
+    const bool ha = a.next(ea);
+    const bool hb = b.next(eb);
+    ASSERT_EQ(ha, hb);
+    if (!ha) break;
+    ASSERT_EQ(ea, eb) << "diverged at event " << i;
+  }
+}
+
+TEST(Generator, DifferentProcsDiffer) {
+  ProfileTraceSource a(tiny_profile(), 0);
+  ProfileTraceSource b(tiny_profile(), 1);
+  trace::Event ea, eb;
+  int diffs = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!a.next(ea) || !b.next(eb)) break;
+    diffs += (ea == eb) ? 0 : 1;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Generator, ResetReplaysIdentically) {
+  ProfileTraceSource s(tiny_profile(), 2);
+  std::vector<trace::Event> first;
+  trace::Event e;
+  for (int i = 0; i < 200 && s.next(e); ++i) first.push_back(e);
+  s.reset();
+  for (const trace::Event& expected : first) {
+    ASSERT_TRUE(s.next(e));
+    ASSERT_EQ(e, expected);
+  }
+}
+
+TEST(Generator, GapsAreAlwaysPositive) {
+  ProfileTraceSource s(tiny_profile(), 0);
+  trace::Event e;
+  while (s.next(e)) ASSERT_GE(e.gap, 1u);
+}
+
+TEST(Generator, ReferenceCountNearTarget) {
+  ProfileTraceSource s(tiny_profile(), 0);
+  trace::Event e;
+  std::uint64_t refs = 0;
+  while (s.next(e)) {
+    if (trace::is_memory_ref(e.op)) ++refs;
+  }
+  EXPECT_NEAR(static_cast<double>(refs), 20'000.0, 600.0);
+}
+
+TEST(Generator, LockPairsBalanced) {
+  // The analyzer asserts on unbalanced acquire/release, so a clean run is
+  // the property.
+  trace::ProgramTrace program = make_program_trace(tiny_profile());
+  const trace::IdealProgramStats stats = trace::analyze_program(program);
+  for (const auto& p : stats.per_proc) {
+    EXPECT_NEAR(static_cast<double>(p.lock_pairs), 120.0, 25.0);
+    EXPECT_NEAR(static_cast<double>(p.nested_pairs), 40.0, 20.0);
+  }
+}
+
+TEST(Generator, AddressesInValidRegions) {
+  ProfileTraceSource s(tiny_profile(), 1);
+  trace::Event e;
+  while (s.next(e)) {
+    const trace::Region region = trace::AddressMap::classify(e.addr);
+    switch (e.op) {
+      case trace::Op::kIFetch:
+        ASSERT_EQ(region, trace::Region::kCode);
+        break;
+      case trace::Op::kLockAcq:
+      case trace::Op::kLockRel:
+        ASSERT_EQ(region, trace::Region::kLock);
+        break;
+      default:
+        ASSERT_NE(region, trace::Region::kLock);
+        break;
+    }
+  }
+}
+
+TEST(Generator, PrivateRefsBelongToOwnSegment) {
+  const BenchmarkProfile profile = tiny_profile();
+  for (std::uint32_t proc = 0; proc < profile.num_procs; ++proc) {
+    ProfileTraceSource s(profile, proc);
+    trace::Event e;
+    while (s.next(e)) {
+      if (trace::is_data_ref(e.op) &&
+          trace::AddressMap::classify(e.addr) == trace::Region::kPrivate) {
+        ASSERT_EQ(trace::AddressMap::private_owner(e.addr), proc);
+      }
+    }
+  }
+}
+
+TEST(Generator, ScaledProfileShrinksCounts) {
+  const BenchmarkProfile base = grav_profile();
+  const BenchmarkProfile scaled = base.scaled(8);
+  EXPECT_EQ(scaled.refs_per_proc, base.refs_per_proc / 8);
+  EXPECT_EQ(scaled.locking.pairs_per_proc, base.locking.pairs_per_proc / 8);
+  EXPECT_EQ(scaled.num_procs, base.num_procs);  // processors never scale
+  EXPECT_EQ(base.scaled(1).refs_per_proc, base.refs_per_proc);
+}
+
+TEST(Generator, BurstFrontLoadsCriticalSections) {
+  BenchmarkProfile p = tiny_profile();
+  p.locking.burst_fraction = 0.5;
+  p.locking.burst_window = 0.05;
+  ProfileTraceSource s(p, 0);
+  trace::Event e;
+  std::uint64_t refs = 0, early_acqs = 0, total_acqs = 0;
+  const std::uint64_t window = p.refs_per_proc / 20;
+  while (s.next(e)) {
+    if (trace::is_memory_ref(e.op)) ++refs;
+    if (e.op == trace::Op::kLockAcq) {
+      ++total_acqs;
+      if (refs < window) ++early_acqs;
+    }
+  }
+  // At least ~40% of acquisitions land in the first 5% of the trace.
+  EXPECT_GT(static_cast<double>(early_acqs),
+            0.35 * static_cast<double>(total_acqs));
+}
+
+TEST(Generator, NoLocksProfileEmitsNone) {
+  BenchmarkProfile p = tiny_profile();
+  p.locking.pairs_per_proc = 0;
+  p.locking.nested_per_proc = 0;
+  ProfileTraceSource s(p, 0);
+  trace::Event e;
+  while (s.next(e)) ASSERT_FALSE(trace::is_lock_op(e.op));
+}
+
+TEST(Generator, CpiSkewScalesOneProcessor) {
+  BenchmarkProfile p = tiny_profile();
+  p.locking.pairs_per_proc = 0;
+  p.locking.nested_per_proc = 0;
+  p.cpi_skew = 0.5;
+  p.skew_proc = 0;
+  trace::ProgramTrace program = make_program_trace(p);
+  const trace::IdealProgramStats stats = trace::analyze_program(program);
+  const double skewed = static_cast<double>(stats.per_proc[0].work_cycles);
+  const double normal = static_cast<double>(stats.per_proc[1].work_cycles);
+  EXPECT_GT(skewed, normal * 1.3);
+  EXPECT_LT(skewed, normal * 1.7);
+}
+
+}  // namespace
+}  // namespace syncpat::workload

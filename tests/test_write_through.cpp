@@ -1,0 +1,155 @@
+// Write-through cache mode (§4.2's conjectured regime).
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "test_util.hpp"
+
+namespace syncpat::core {
+namespace {
+
+using namespace testutil;
+
+MachineConfig wt_machine(bus::ConsistencyModel model =
+                             bus::ConsistencyModel::kSequential) {
+  MachineConfig config = machine(sync::SchemeKind::kQueuing, model);
+  config.write_policy = cache::WritePolicy::kWriteThrough;
+  return config;
+}
+
+TEST(WriteThrough, EveryStoreReachesTheBus) {
+  trace::ProgramTrace program = make_program({{
+      load(shared_line(0), 1),
+      store(shared_line(0), 1),
+      store(shared_line(0) + 4, 30),  // different word, separate write
+  }});
+  MachineConfig config = wt_machine();
+  config.num_procs = 1;
+  Simulator sim(config, program);
+  const SimulationResult r = sim.run();
+  EXPECT_EQ(r.traffic.write_throughs, 2u);
+  EXPECT_EQ(r.traffic.writebacks, 0u);  // nothing is ever dirty
+}
+
+TEST(WriteThrough, StoreMissDoesNotAllocate) {
+  trace::ProgramTrace program = make_program({{
+      store(shared_line(0), 1),
+      ifetch(0x100, 30),
+  }});
+  MachineConfig config = wt_machine();
+  config.num_procs = 1;
+  Simulator sim(config, program);
+  sim.run();
+  EXPECT_EQ(sim.cache_of(0).state(shared_line(0)), cache::LineState::kInvalid);
+}
+
+TEST(WriteThrough, StoreStallsUnderSequentialConsistency) {
+  trace::ProgramTrace program = make_program({{
+      ifetch(0x100, 1),
+      store(shared_line(0), 10),
+  }});
+  const SimulationResult r = simulate(wt_machine(), program);
+  // Cold ifetch (6) + the store's bus-write round trip (several cycles).
+  EXPECT_GT(r.per_proc[0].stall_cache, 8u);
+}
+
+TEST(WriteThrough, WeakOrderingHidesStores) {
+  auto build = [] {
+    std::vector<trace::Event> events;
+    events.push_back(ifetch(0x100, 1));
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      events.push_back(store(shared_line(i), 8));
+    }
+    return make_program({events});
+  };
+  trace::ProgramTrace p1 = build();
+  trace::ProgramTrace p2 = build();
+  const SimulationResult sc = simulate(wt_machine(), p1);
+  const SimulationResult wo =
+      simulate(wt_machine(bus::ConsistencyModel::kWeak), p2);
+  EXPECT_LT(wo.run_time, sc.run_time);
+  EXPECT_LT(wo.per_proc[0].stall_cache, sc.per_proc[0].stall_cache / 2);
+}
+
+TEST(WriteThrough, WritesInvalidateOtherCopies) {
+  trace::ProgramTrace program = make_program({
+      {load(shared_line(0), 1)},
+      {store(shared_line(0), 30)},
+  });
+  MachineConfig config = wt_machine();
+  config.num_procs = 2;
+  Simulator sim(config, program);
+  sim.run();
+  EXPECT_EQ(sim.cache_of(0).state(shared_line(0)), cache::LineState::kInvalid);
+}
+
+TEST(WriteThrough, OwnCopyStaysValidAcrossWrite) {
+  trace::ProgramTrace program = make_program({{
+      load(shared_line(0), 1),
+      store(shared_line(0), 10),
+      load(shared_line(0), 10),  // must still hit
+  }});
+  MachineConfig config = wt_machine();
+  config.num_procs = 1;
+  Simulator sim(config, program);
+  const SimulationResult r = sim.run();
+  // Exactly one fill: the cold load.
+  EXPECT_EQ(r.traffic.reads, 1u);
+}
+
+TEST(WriteThrough, BackToBackStoresToOneLineCoalesceInBuffer) {
+  trace::ProgramTrace program = make_program({{
+      store(shared_line(0), 1),
+      store(shared_line(0) + 4, 1),
+      store(shared_line(0) + 8, 1),
+  }});
+  const SimulationResult wo =
+      simulate(wt_machine(bus::ConsistencyModel::kWeak), program);
+  EXPECT_LT(wo.traffic.write_throughs, 3u);  // later words merged
+}
+
+TEST(WriteThrough, SyncWaitsForBufferedStores) {
+  trace::ProgramTrace program = make_program({{
+      store(shared_line(0), 1),
+      lock_acq(0, 1),
+      lock_rel(0, 5),
+  }});
+  const SimulationResult r =
+      simulate(wt_machine(bus::ConsistencyModel::kWeak), program);
+  EXPECT_GE(r.syncs_with_pending, 1u);
+  EXPECT_EQ(r.locks.acquisitions, 1u);
+}
+
+TEST(WriteThrough, LocksStillWorkUnderWriteThrough) {
+  std::vector<std::vector<trace::Event>> traces(6);
+  for (std::uint32_t p = 0; p < 6; ++p) {
+    for (int i = 0; i < 10; ++i) {
+      traces[p].push_back(lock_acq(0, 4));
+      traces[p].push_back(store(shared_line(1), 10));
+      traces[p].push_back(lock_rel(0, 1));
+    }
+  }
+  trace::ProgramTrace program = make_program(std::move(traces));
+  const SimulationResult r = simulate(wt_machine(), program);
+  EXPECT_EQ(r.locks.acquisitions, 60u);
+}
+
+TEST(WriteThrough, TrafficBreakdownConsistent) {
+  trace::ProgramTrace program = make_program({{
+      load(shared_line(0), 1),
+      store(shared_line(1), 1),
+      store(shared_line(1) + 4, 40),
+  }});
+  MachineConfig config = wt_machine();
+  config.num_procs = 1;
+  Simulator sim(config, program);
+  const SimulationResult r = sim.run();
+  EXPECT_EQ(r.traffic.reads, 1u);
+  EXPECT_EQ(r.traffic.write_throughs, 2u);
+  EXPECT_EQ(r.traffic.total(),
+            r.traffic.reads + r.traffic.write_throughs);
+  EXPECT_EQ(r.traffic.memory_reads, 1u);
+  EXPECT_EQ(r.traffic.c2c_supplies, 0u);
+}
+
+}  // namespace
+}  // namespace syncpat::core
