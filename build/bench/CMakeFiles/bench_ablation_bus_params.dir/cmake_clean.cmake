@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bus_params.dir/bench_ablation_bus_params.cpp.o"
+  "CMakeFiles/bench_ablation_bus_params.dir/bench_ablation_bus_params.cpp.o.d"
+  "bench_ablation_bus_params"
+  "bench_ablation_bus_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bus_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

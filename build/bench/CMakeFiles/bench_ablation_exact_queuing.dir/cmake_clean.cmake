@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_exact_queuing.dir/bench_ablation_exact_queuing.cpp.o"
+  "CMakeFiles/bench_ablation_exact_queuing.dir/bench_ablation_exact_queuing.cpp.o.d"
+  "bench_ablation_exact_queuing"
+  "bench_ablation_exact_queuing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exact_queuing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lock_shootout.dir/bench_ablation_lock_shootout.cpp.o"
+  "CMakeFiles/bench_ablation_lock_shootout.dir/bench_ablation_lock_shootout.cpp.o.d"
+  "bench_ablation_lock_shootout"
+  "bench_ablation_lock_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lock_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

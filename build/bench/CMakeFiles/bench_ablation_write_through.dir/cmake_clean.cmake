@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_write_through.dir/bench_ablation_write_through.cpp.o"
+  "CMakeFiles/bench_ablation_write_through.dir/bench_ablation_write_through.cpp.o.d"
+  "bench_ablation_write_through"
+  "bench_ablation_write_through.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_write_through.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_architecture.dir/bench_figure1_architecture.cpp.o"
+  "CMakeFiles/bench_figure1_architecture.dir/bench_figure1_architecture.cpp.o.d"
+  "bench_figure1_architecture"
+  "bench_figure1_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

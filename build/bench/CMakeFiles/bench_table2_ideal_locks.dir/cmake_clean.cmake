@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ideal_locks.dir/bench_table2_ideal_locks.cpp.o"
+  "CMakeFiles/bench_table2_ideal_locks.dir/bench_table2_ideal_locks.cpp.o.d"
+  "bench_table2_ideal_locks"
+  "bench_table2_ideal_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ideal_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_ideal_locks.
+# This may be replaced when dependencies are built.

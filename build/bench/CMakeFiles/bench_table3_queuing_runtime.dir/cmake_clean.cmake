@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_queuing_runtime.dir/bench_table3_queuing_runtime.cpp.o"
+  "CMakeFiles/bench_table3_queuing_runtime.dir/bench_table3_queuing_runtime.cpp.o.d"
+  "bench_table3_queuing_runtime"
+  "bench_table3_queuing_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_queuing_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

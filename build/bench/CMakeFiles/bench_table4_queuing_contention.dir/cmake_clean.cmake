@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_queuing_contention.dir/bench_table4_queuing_contention.cpp.o"
+  "CMakeFiles/bench_table4_queuing_contention.dir/bench_table4_queuing_contention.cpp.o.d"
+  "bench_table4_queuing_contention"
+  "bench_table4_queuing_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_queuing_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

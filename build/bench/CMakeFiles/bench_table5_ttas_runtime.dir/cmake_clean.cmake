@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ttas_runtime.dir/bench_table5_ttas_runtime.cpp.o"
+  "CMakeFiles/bench_table5_ttas_runtime.dir/bench_table5_ttas_runtime.cpp.o.d"
+  "bench_table5_ttas_runtime"
+  "bench_table5_ttas_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ttas_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

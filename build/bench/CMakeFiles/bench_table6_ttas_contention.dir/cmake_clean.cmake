@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ttas_contention.dir/bench_table6_ttas_contention.cpp.o"
+  "CMakeFiles/bench_table6_ttas_contention.dir/bench_table6_ttas_contention.cpp.o.d"
+  "bench_table6_ttas_contention"
+  "bench_table6_ttas_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ttas_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

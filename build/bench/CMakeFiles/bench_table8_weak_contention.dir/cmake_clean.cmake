@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_weak_contention.dir/bench_table8_weak_contention.cpp.o"
+  "CMakeFiles/bench_table8_weak_contention.dir/bench_table8_weak_contention.cpp.o.d"
+  "bench_table8_weak_contention"
+  "bench_table8_weak_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_weak_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barnes_hut_study.dir/barnes_hut_study.cpp.o"
+  "CMakeFiles/barnes_hut_study.dir/barnes_hut_study.cpp.o.d"
+  "barnes_hut_study"
+  "barnes_hut_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barnes_hut_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsort_study.dir/qsort_study.cpp.o"
+  "CMakeFiles/qsort_study.dir/qsort_study.cpp.o.d"
+  "qsort_study"
+  "qsort_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsort_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncpat_cli.dir/syncpat_cli.cpp.o"
+  "CMakeFiles/syncpat_cli.dir/syncpat_cli.cpp.o.d"
+  "syncpat_cli"
+  "syncpat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncpat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

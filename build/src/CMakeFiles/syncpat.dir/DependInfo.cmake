@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/bus.cpp" "src/CMakeFiles/syncpat.dir/bus/bus.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/bus/bus.cpp.o.d"
+  "/root/repo/src/bus/interface.cpp" "src/CMakeFiles/syncpat.dir/bus/interface.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/bus/interface.cpp.o.d"
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/syncpat.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/syncpat.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/machine_config.cpp" "src/CMakeFiles/syncpat.dir/core/machine_config.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/machine_config.cpp.o.d"
+  "/root/repo/src/core/processor.cpp" "src/CMakeFiles/syncpat.dir/core/processor.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/processor.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/syncpat.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/simulator.cpp.o.d"
+  "/root/repo/src/mem/memory.cpp" "src/CMakeFiles/syncpat.dir/mem/memory.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/mem/memory.cpp.o.d"
+  "/root/repo/src/report/paper_tables.cpp" "src/CMakeFiles/syncpat.dir/report/paper_tables.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/report/paper_tables.cpp.o.d"
+  "/root/repo/src/report/per_lock.cpp" "src/CMakeFiles/syncpat.dir/report/per_lock.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/report/per_lock.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/syncpat.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/report/table.cpp.o.d"
+  "/root/repo/src/sync/anderson_lock.cpp" "src/CMakeFiles/syncpat.dir/sync/anderson_lock.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/sync/anderson_lock.cpp.o.d"
+  "/root/repo/src/sync/lock_stats.cpp" "src/CMakeFiles/syncpat.dir/sync/lock_stats.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/sync/lock_stats.cpp.o.d"
+  "/root/repo/src/sync/queuing_lock.cpp" "src/CMakeFiles/syncpat.dir/sync/queuing_lock.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/sync/queuing_lock.cpp.o.d"
+  "/root/repo/src/sync/scheme_factory.cpp" "src/CMakeFiles/syncpat.dir/sync/scheme_factory.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/sync/scheme_factory.cpp.o.d"
+  "/root/repo/src/sync/tas_backoff_lock.cpp" "src/CMakeFiles/syncpat.dir/sync/tas_backoff_lock.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/sync/tas_backoff_lock.cpp.o.d"
+  "/root/repo/src/sync/tas_lock.cpp" "src/CMakeFiles/syncpat.dir/sync/tas_lock.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/sync/tas_lock.cpp.o.d"
+  "/root/repo/src/sync/ticket_lock.cpp" "src/CMakeFiles/syncpat.dir/sync/ticket_lock.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/sync/ticket_lock.cpp.o.d"
+  "/root/repo/src/sync/ttas_lock.cpp" "src/CMakeFiles/syncpat.dir/sync/ttas_lock.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/sync/ttas_lock.cpp.o.d"
+  "/root/repo/src/trace/address_map.cpp" "src/CMakeFiles/syncpat.dir/trace/address_map.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/trace/address_map.cpp.o.d"
+  "/root/repo/src/trace/analyzer.cpp" "src/CMakeFiles/syncpat.dir/trace/analyzer.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/trace/analyzer.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/CMakeFiles/syncpat.dir/trace/event.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/trace/event.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/CMakeFiles/syncpat.dir/trace/io.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/trace/io.cpp.o.d"
+  "/root/repo/src/trace/mpt.cpp" "src/CMakeFiles/syncpat.dir/trace/mpt.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/trace/mpt.cpp.o.d"
+  "/root/repo/src/trace/validate.cpp" "src/CMakeFiles/syncpat.dir/trace/validate.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/trace/validate.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/syncpat.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/syncpat.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/syncpat.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/kernels/annealing.cpp" "src/CMakeFiles/syncpat.dir/workload/kernels/annealing.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/workload/kernels/annealing.cpp.o.d"
+  "/root/repo/src/workload/kernels/barnes_hut.cpp" "src/CMakeFiles/syncpat.dir/workload/kernels/barnes_hut.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/workload/kernels/barnes_hut.cpp.o.d"
+  "/root/repo/src/workload/kernels/qsort_kernel.cpp" "src/CMakeFiles/syncpat.dir/workload/kernels/qsort_kernel.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/workload/kernels/qsort_kernel.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/CMakeFiles/syncpat.dir/workload/profile.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/workload/profile.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/CMakeFiles/syncpat.dir/workload/profiles.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/workload/profiles.cpp.o.d"
+  "/root/repo/src/workload/vm.cpp" "src/CMakeFiles/syncpat.dir/workload/vm.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/workload/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

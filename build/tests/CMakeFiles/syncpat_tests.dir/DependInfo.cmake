@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_address_map.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_address_map.cpp.o.d"
+  "/root/repo/tests/test_analyzer.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_analyzer.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_analyzer.cpp.o.d"
+  "/root/repo/tests/test_barrier.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_barrier.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_barrier.cpp.o.d"
+  "/root/repo/tests/test_bus.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_bus.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_bus.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cache_geometry.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_cache_geometry.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_cache_geometry.cpp.o.d"
+  "/root/repo/tests/test_event.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_event.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_event.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_format.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_format.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_format.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_interface.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_interface.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_interface.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_lock_schemes.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_lock_schemes.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_lock_schemes.cpp.o.d"
+  "/root/repo/tests/test_lock_stats.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_lock_stats.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_lock_stats.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_mesi.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_mesi.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_mesi.cpp.o.d"
+  "/root/repo/tests/test_mpt.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_mpt.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_mpt.cpp.o.d"
+  "/root/repo/tests/test_queuing_lock.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_queuing_lock.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_queuing_lock.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_ring_buffer.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_ring_buffer.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_ring_buffer.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_running_stat.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_running_stat.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_running_stat.cpp.o.d"
+  "/root/repo/tests/test_sim_coherence.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_sim_coherence.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_sim_coherence.cpp.o.d"
+  "/root/repo/tests/test_sim_stress.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_sim_stress.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_sim_stress.cpp.o.d"
+  "/root/repo/tests/test_sim_timing.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_sim_timing.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_sim_timing.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_ttas_lock.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_ttas_lock.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_ttas_lock.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_validate.cpp.o.d"
+  "/root/repo/tests/test_weak_ordering.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_weak_ordering.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_weak_ordering.cpp.o.d"
+  "/root/repo/tests/test_workload_calibration.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_workload_calibration.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_workload_calibration.cpp.o.d"
+  "/root/repo/tests/test_workload_generator.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_workload_generator.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_workload_generator.cpp.o.d"
+  "/root/repo/tests/test_write_through.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_write_through.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_write_through.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/syncpat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
