@@ -5,14 +5,21 @@
 #include "bench_common.hpp"
 #include "report/paper_tables.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncpat;
-  const std::uint64_t scale = core::scale_from_env(bench::kDefaultScale);
-  bench::print_scale_banner(scale);
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
+  const std::uint64_t scale = bench::scale_or_die();
 
+  core::ExperimentGrid grid;
+  grid.profiles = workload::paper_profiles();
+  grid.scales = {scale};
+  grid.ideal_only = true;
+  const core::GridResult result = bench::run_grid_or_die(grid, opts.jobs);
+
+  bench::print_engine_banner(scale, result.wall_ms, result.jobs_used);
   std::vector<trace::IdealProgramStats> stats;
-  for (const auto& profile : workload::paper_profiles()) {
-    stats.push_back(core::run_ideal(profile, scale));
+  for (const core::CellResult& cell : result.results) {
+    stats.push_back(cell.outcome.ideal);
   }
   report::table1_ideal(stats, scale).print(std::cout);
   return 0;

@@ -5,12 +5,14 @@
 #include "bench_common.hpp"
 #include "report/paper_tables.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncpat;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   core::MachineConfig config;
   config.lock_scheme = sync::SchemeKind::kQueuing;
-  const bench::SuiteRun run = bench::run_suite(config, /*skip_lockless=*/false);
-  bench::print_scale_banner(run.scale);
+  const bench::SuiteRun run =
+      bench::run_suite(config, /*skip_lockless=*/false, opts.jobs);
+  bench::print_engine_banner(run.scale, run.wall_ms, run.jobs_used);
   report::table_runtime(3, run.results, run.scale).print(std::cout);
   return 0;
 }

@@ -7,24 +7,28 @@
 #include "core/simulator.hpp"
 #include "workload/generator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncpat;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   core::MachineConfig config;
   config.lock_scheme = sync::SchemeKind::kQueuing;
-  const bench::SuiteRun run = bench::run_suite(config, /*skip_lockless=*/true);
-  bench::print_scale_banner(run.scale);
+  const bench::SuiteRun run =
+      bench::run_suite(config, /*skip_lockless=*/true, opts.jobs);
+  bench::print_engine_banner(run.scale, run.wall_ms, run.jobs_used);
   report::table_contention(4, run.results, run.scale).print(std::cout);
   bench::print_transfer_latencies(run.results);
   std::cout << "(paper: queuing-lock transfers take ~1.2-1.5 cycles)\n\n";
 
   // The paper attributes Grav/Pdsa contention to the dominant Presto
-  // scheduler lock (§2.3); show the per-lock breakdown for Grav.
+  // scheduler lock (§2.3); show the per-lock breakdown for Grav.  This needs
+  // the simulator instance itself (per-lock stats are not part of
+  // SimulationResult), so it runs outside the engine.
   {
     workload::BenchmarkProfile grav = workload::grav_profile().scaled(run.scale);
     trace::ProgramTrace program = workload::make_program_trace(grav);
-    core::MachineConfig config;
-    config.num_procs = grav.num_procs;
-    core::Simulator sim(config, program);
+    core::MachineConfig grav_config;
+    grav_config.num_procs = grav.num_procs;
+    core::Simulator sim(grav_config, program);
     sim.run();
     std::cout << "Grav breakdown (lock 0 is the scheduler lock, lock 1 the "
                  "nested thread-queue lock):\n";

@@ -1,34 +1,45 @@
 // Table 5: Benchmark Runtime Statistics with Test&Test&Set locks.  The
 // paper's headline: Grav and Pdsa run ~8% longer than under queuing locks.
+//
+// Both schemes run as one grid so the engine can parallelize across the
+// scheme axis as well as across benchmarks.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "report/paper_tables.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncpat;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
+  const std::uint64_t scale = bench::scale_or_die();
+
   core::MachineConfig config;
+  core::ExperimentGrid grid =
+      bench::suite_grid(config, /*skip_lockless=*/true, scale);
+  grid.schemes = {sync::SchemeKind::kTtas, sync::SchemeKind::kQueuing};
+  const core::GridResult result = bench::run_grid_or_die(grid, opts.jobs);
 
-  config.lock_scheme = sync::SchemeKind::kTtas;
-  const bench::SuiteRun ttas = bench::run_suite(config, /*skip_lockless=*/true);
-  bench::print_scale_banner(ttas.scale);
-  report::table_runtime(5, ttas.results, ttas.scale).print(std::cout);
+  const std::vector<core::SimulationResult> ttas =
+      bench::results_for_scheme(result, sync::SchemeKind::kTtas);
+  const std::vector<core::SimulationResult> queuing =
+      bench::results_for_scheme(result, sync::SchemeKind::kQueuing);
 
-  config.lock_scheme = sync::SchemeKind::kQueuing;
-  const bench::SuiteRun queuing = bench::run_suite(config, /*skip_lockless=*/true);
+  bench::print_engine_banner(scale, result.wall_ms, result.jobs_used);
+  report::table_runtime(5, ttas, scale).print(std::cout);
+
   std::cout << "Run-time increase vs queuing locks (paper: Grav +8.0%, "
                "Pdsa +8.1%, others ~0%):\n";
-  for (std::size_t i = 0; i < ttas.results.size(); ++i) {
-    const double pct = -ttas.results[i].runtime_change_pct(queuing.results[i]);
-    std::cout << "  " << ttas.results[i].program << ": "
+  for (std::size_t i = 0; i < ttas.size(); ++i) {
+    const double pct = -ttas[i].runtime_change_pct(queuing[i]);
+    std::cout << "  " << ttas[i].program << ": "
               << (pct >= 0 ? "+" : "") << pct << "%\n";
   }
   std::cout << "\nBus utilization, queuing -> T&T&S (paper: Grav doubles, "
                "Pdsa +40%):\n";
-  for (std::size_t i = 0; i < ttas.results.size(); ++i) {
-    std::cout << "  " << ttas.results[i].program << ": "
-              << 100.0 * queuing.results[i].bus_utilization << "% -> "
-              << 100.0 * ttas.results[i].bus_utilization << "%\n";
+  for (std::size_t i = 0; i < ttas.size(); ++i) {
+    std::cout << "  " << ttas[i].program << ": "
+              << 100.0 * queuing[i].bus_utilization << "% -> "
+              << 100.0 * ttas[i].bus_utilization << "%\n";
   }
   return 0;
 }

@@ -4,12 +4,14 @@
 #include "bench_common.hpp"
 #include "report/paper_tables.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncpat;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   core::MachineConfig config;
   config.lock_scheme = sync::SchemeKind::kTtas;
-  const bench::SuiteRun run = bench::run_suite(config, /*skip_lockless=*/true);
-  bench::print_scale_banner(run.scale);
+  const bench::SuiteRun run =
+      bench::run_suite(config, /*skip_lockless=*/true, opts.jobs);
+  bench::print_engine_banner(run.scale, run.wall_ms, run.jobs_used);
   report::table_contention(6, run.results, run.scale).print(std::cout);
   bench::print_transfer_latencies(run.results);
   std::cout << "(paper: with many waiters a T&T&S transfer takes ~21-25 "

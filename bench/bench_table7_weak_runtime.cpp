@@ -1,28 +1,38 @@
 // Table 7: Weak Ordering Runtime Statistics.  The paper's finding: on this
 // shared-bus machine weak ordering buys < 1% because write-hit ratios are
 // 90-99% and there is almost nothing to bypass.
+//
+// Both memory models run as one grid so the engine can parallelize across
+// the consistency axis as well as across benchmarks.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "report/paper_tables.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncpat;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
+  const std::uint64_t scale = bench::scale_or_die();
+
   core::MachineConfig config;
   config.lock_scheme = sync::SchemeKind::kQueuing;
+  core::ExperimentGrid grid =
+      bench::suite_grid(config, /*skip_lockless=*/false, scale);
+  grid.consistency_models = {bus::ConsistencyModel::kSequential,
+                             bus::ConsistencyModel::kWeak};
+  const core::GridResult result = bench::run_grid_or_die(grid, opts.jobs);
 
-  config.consistency = bus::ConsistencyModel::kSequential;
-  const bench::SuiteRun sc = bench::run_suite(config, /*skip_lockless=*/false);
+  const std::vector<core::SimulationResult> sc =
+      bench::results_for_consistency(result, bus::ConsistencyModel::kSequential);
+  const std::vector<core::SimulationResult> weak =
+      bench::results_for_consistency(result, bus::ConsistencyModel::kWeak);
 
-  config.consistency = bus::ConsistencyModel::kWeak;
-  const bench::SuiteRun weak = bench::run_suite(config, /*skip_lockless=*/false);
-
-  bench::print_scale_banner(weak.scale);
-  report::table7_weak(weak.results, sc.results, weak.scale).print(std::cout);
+  bench::print_engine_banner(scale, result.wall_ms, result.jobs_used);
+  report::table7_weak(weak, sc, scale).print(std::cout);
 
   std::cout << "Syncs that found unfinished buffered accesses (paper: \"almost"
                " never\"):\n";
-  for (const auto& r : weak.results) {
+  for (const auto& r : weak) {
     if (r.syncs == 0) continue;
     std::cout << "  " << r.program << ": " << r.syncs_with_pending << " of "
               << r.syncs << " syncs\n";

@@ -154,6 +154,7 @@ bench/CMakeFiles/bench_table8_weak_contention.dir/bench_table8_weak_contention.c
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
@@ -243,5 +244,6 @@ bench/CMakeFiles/bench_table8_weak_contention.dir/bench_table8_weak_contention.c
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/results.hpp \
  /root/repo/src/trace/analyzer.hpp /root/repo/src/trace/source.hpp \
  /root/repo/src/trace/event.hpp /root/repo/src/workload/profile.hpp \
+ /root/repo/src/core/experiment_engine.hpp \
  /root/repo/src/workload/profiles.hpp \
  /root/repo/src/report/paper_tables.hpp /root/repo/src/report/table.hpp

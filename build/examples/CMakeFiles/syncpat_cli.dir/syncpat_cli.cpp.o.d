@@ -156,14 +156,15 @@ examples/CMakeFiles/syncpat_cli.dir/syncpat_cli.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /root/repo/src/core/machine_config.hpp /root/repo/src/bus/interface.hpp \
- /root/repo/src/bus/transaction.hpp /root/repo/src/util/ring_buffer.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
+ /root/repo/src/core/experiment_engine.hpp /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/assert.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/experiment.hpp \
+ /root/repo/src/core/machine_config.hpp /root/repo/src/bus/interface.hpp \
+ /root/repo/src/bus/transaction.hpp /root/repo/src/util/ring_buffer.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/assert.hpp \
  /root/repo/src/cache/cache.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/mem/memory.hpp /root/repo/src/sync/scheme_factory.hpp \
@@ -242,14 +243,14 @@ examples/CMakeFiles/syncpat_cli.dir/syncpat_cli.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/core/simulator.hpp /root/repo/src/bus/bus.hpp \
- /root/repo/src/core/processor.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/results.hpp \
+ /root/repo/src/trace/analyzer.hpp /root/repo/src/trace/source.hpp \
+ /root/repo/src/trace/event.hpp /root/repo/src/workload/profile.hpp \
+ /root/repo/src/core/invariant_checker.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/trace/source.hpp /root/repo/src/trace/event.hpp \
- /root/repo/src/core/results.hpp /root/repo/src/report/per_lock.hpp \
- /root/repo/src/report/table.hpp /root/repo/src/trace/analyzer.hpp \
- /root/repo/src/trace/io.hpp /root/repo/src/trace/validate.hpp \
- /root/repo/src/util/format.hpp /root/repo/src/workload/generator.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/span \
- /root/repo/src/workload/profile.hpp /root/repo/src/workload/profiles.hpp
+ /root/repo/src/core/simulator.hpp /root/repo/src/bus/bus.hpp \
+ /root/repo/src/core/processor.hpp /root/repo/src/report/per_lock.hpp \
+ /root/repo/src/report/table.hpp /root/repo/src/trace/io.hpp \
+ /root/repo/src/trace/validate.hpp /root/repo/src/util/format.hpp \
+ /root/repo/src/workload/generator.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/span /root/repo/src/workload/profiles.hpp

@@ -12,6 +12,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/bus/interface.cpp" "src/CMakeFiles/syncpat.dir/bus/interface.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/bus/interface.cpp.o.d"
   "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/syncpat.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/cache/cache.cpp.o.d"
   "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/syncpat.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/experiment_engine.cpp" "src/CMakeFiles/syncpat.dir/core/experiment_engine.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/experiment_engine.cpp.o.d"
+  "/root/repo/src/core/invariant_checker.cpp" "src/CMakeFiles/syncpat.dir/core/invariant_checker.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/invariant_checker.cpp.o.d"
   "/root/repo/src/core/machine_config.cpp" "src/CMakeFiles/syncpat.dir/core/machine_config.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/machine_config.cpp.o.d"
   "/root/repo/src/core/processor.cpp" "src/CMakeFiles/syncpat.dir/core/processor.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/processor.cpp.o.d"
   "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/syncpat.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/syncpat.dir/core/simulator.cpp.o.d"

@@ -245,4 +245,5 @@ src/CMakeFiles/syncpat.dir/core/simulator.cpp.o: \
  /root/repo/src/core/processor.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/trace/source.hpp /root/repo/src/trace/event.hpp \
- /root/repo/src/core/results.hpp
+ /root/repo/src/core/results.hpp \
+ /root/repo/src/core/invariant_checker.hpp

@@ -15,10 +15,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_cache.cpp.o.d"
   "/root/repo/tests/test_cache_geometry.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_cache_geometry.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_cache_geometry.cpp.o.d"
   "/root/repo/tests/test_event.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_event.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_event.cpp.o.d"
+  "/root/repo/tests/test_experiment_engine.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_experiment_engine.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_experiment_engine.cpp.o.d"
   "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_experiments.cpp.o.d"
   "/root/repo/tests/test_format.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_format.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_format.cpp.o.d"
+  "/root/repo/tests/test_golden_results.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_golden_results.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_golden_results.cpp.o.d"
   "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_histogram.cpp.o.d"
   "/root/repo/tests/test_interface.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_interface.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_interface.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_invariants.cpp.o.d"
   "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_kernels.cpp.o.d"
   "/root/repo/tests/test_lock_schemes.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_lock_schemes.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_lock_schemes.cpp.o.d"
   "/root/repo/tests/test_lock_stats.cpp" "tests/CMakeFiles/syncpat_tests.dir/test_lock_stats.cpp.o" "gcc" "tests/CMakeFiles/syncpat_tests.dir/test_lock_stats.cpp.o.d"

@@ -9,10 +9,16 @@
 //                           ticket|anderson (default queuing)
 //     --consistency NAME    sequential|weak (default sequential)
 //     --write-policy NAME   write-back|write-through (default write-back)
-//     --scale N             trace length divisor (default 8)
+//     --scale N             trace length divisor, >= 1 (default 8)
 //     --procs N             override processor count (profiles only)
 //     --buffer N            cache-bus buffer depth (default 4)
 //     --mem-cycles N        memory access time (default 3)
+//     --jobs N              worker threads for --sweep (0 = all cores)
+//     --check-invariants    run with the runtime invariant checker enabled;
+//                           exits non-zero on any violation
+//     --sweep               run every scheme x both memory models on the
+//                           parallel engine and print a comparison table
+//                           (profiles only)
 //     --per-lock            print the per-lock contention breakdown
 //     --csv                 emit results as CSV instead of a table
 //     --validate            validate the trace and exit
@@ -21,6 +27,8 @@
 #include <iostream>
 #include <string>
 
+#include "core/experiment_engine.hpp"
+#include "core/invariant_checker.hpp"
 #include "core/machine_config.hpp"
 #include "core/simulator.hpp"
 #include "report/per_lock.hpp"
@@ -40,7 +48,8 @@ using namespace syncpat;
   std::cerr << "usage: " << argv0
             << " [--program P] [--scheme S] [--consistency C]\n"
                "  [--write-policy W] [--scale N] [--procs N] [--buffer N]\n"
-               "  [--mem-cycles N] [--per-lock] [--csv] [--validate]\n";
+               "  [--mem-cycles N] [--jobs N] [--check-invariants] [--sweep]\n"
+               "  [--per-lock] [--csv] [--validate]\n";
   std::exit(2);
 }
 
@@ -53,6 +62,9 @@ struct Options {
   std::uint32_t procs = 0;
   std::uint32_t buffer = 4;
   std::uint32_t mem_cycles = 3;
+  std::uint32_t jobs = 0;
+  bool check_invariants = false;
+  bool sweep = false;
   bool per_lock = false;
   bool csv = false;
   bool validate = false;
@@ -70,16 +82,25 @@ Options parse(int argc, char** argv) {
     else if (arg == "--scheme") opt.scheme = value();
     else if (arg == "--consistency") opt.consistency = value();
     else if (arg == "--write-policy") opt.write_policy = value();
-    else if (arg == "--scale") opt.scale = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--scale") {
+      opt.scale = std::strtoull(value().c_str(), nullptr, 10);
+      if (opt.scale == 0) {
+        std::cerr << "error: --scale must be >= 1 (the trace length divisor; "
+                     "1 = paper scale)\n";
+        std::exit(2);
+      }
+    }
     else if (arg == "--procs") opt.procs = static_cast<std::uint32_t>(std::atoi(value().c_str()));
     else if (arg == "--buffer") opt.buffer = static_cast<std::uint32_t>(std::atoi(value().c_str()));
     else if (arg == "--mem-cycles") opt.mem_cycles = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    else if (arg == "--jobs" || arg == "-j") opt.jobs = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    else if (arg == "--check-invariants") opt.check_invariants = true;
+    else if (arg == "--sweep") opt.sweep = true;
     else if (arg == "--per-lock") opt.per_lock = true;
     else if (arg == "--csv") opt.csv = true;
     else if (arg == "--validate") opt.validate = true;
     else usage(argv[0]);
   }
-  if (opt.scale == 0) opt.scale = 1;
   return opt;
 }
 
@@ -95,25 +116,80 @@ trace::ProgramTrace load_program(const Options& opt) {
   return trace::load_program_trace(opt.program);
 }
 
+/// --sweep: every lock scheme x both memory models on the parallel engine.
+int run_sweep(const Options& opt, const core::MachineConfig& base) {
+  const workload::BenchmarkProfile* found = nullptr;
+  for (const auto& profile : workload::paper_profiles()) {
+    if (profile.name == opt.program) found = &profile;
+  }
+  if (found == nullptr) {
+    std::cerr << "--sweep needs a benchmark profile name "
+                 "(Grav|Pdsa|FullConn|Pverify|Qsort|Topopt), not a trace "
+                 "file\n";
+    return 2;
+  }
+  workload::BenchmarkProfile profile = *found;
+  if (opt.procs > 0) profile.num_procs = opt.procs;
+
+  core::ExperimentGrid grid;
+  grid.base = base;
+  grid.base.invariants.enabled = opt.check_invariants;
+  grid.profiles = {profile};
+  grid.schemes = sync::all_scheme_kinds();
+  grid.consistency_models = {bus::ConsistencyModel::kSequential,
+                             bus::ConsistencyModel::kWeak};
+  grid.scales = {opt.scale};
+
+  core::EngineOptions engine;
+  engine.jobs = opt.jobs;
+  const core::GridResult result = core::run_grid(grid, engine);
+
+  report::Table t("syncpat sweep: " + profile.name + " (scale 1/" +
+                  std::to_string(opt.scale) + ", " +
+                  std::to_string(result.jobs_used) + " workers, " +
+                  util::fixed(result.wall_ms, 0) + " ms)");
+  t.columns({"Scheme", "Model", "Run-time", "Util %", "Bus %", "Acq",
+             "Xfer cy", "Wall ms"});
+  bool violations = false;
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    const core::CellResult& cell = result.results[i];
+    if (!cell.ok()) {
+      std::cerr << "cell " << result.cells[i].label() << " failed: "
+                << cell.error << "\n";
+      return 1;
+    }
+    const core::SimulationResult& r = cell.outcome.sim;
+    t.add_row({r.scheme, r.consistency, util::with_commas(r.run_time),
+               util::percent(r.avg_utilization, 1),
+               util::percent(r.bus_utilization, 1),
+               util::with_commas(r.locks.acquisitions),
+               util::fixed(r.locks.transfer_cycles.mean(), 1),
+               util::fixed(cell.wall_ms, 1)});
+    if (cell.outcome.invariants.violations > 0) {
+      violations = true;
+      std::cerr << "invariant violations in " << result.cells[i].label()
+                << ": " << cell.outcome.invariants.violations << " (first: "
+                << (cell.outcome.invariants.samples.empty()
+                        ? "<none recorded>"
+                        : cell.outcome.invariants.samples[0])
+                << ")\n";
+    }
+  }
+  if (opt.csv) {
+    std::cout << t.to_csv();
+  } else {
+    t.print(std::cout);
+  }
+  if (opt.check_invariants && !violations) {
+    std::cout << "invariants: all cells clean\n";
+  }
+  return violations ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
-
-  trace::ProgramTrace program;
-  try {
-    program = load_program(opt);
-  } catch (const std::exception& e) {
-    std::cerr << "cannot load program '" << opt.program << "': " << e.what()
-              << "\n";
-    return 1;
-  }
-
-  if (opt.validate) {
-    const trace::ValidationReport report = trace::validate_program(program);
-    std::cout << report.to_string();
-    return report.ok() ? 0 : 1;
-  }
 
   core::MachineConfig config;
   try {
@@ -140,6 +216,25 @@ int main(int argc, char** argv) {
   }
   config.cache_bus_buffer_depth = opt.buffer;
   config.memory.access_cycles = opt.mem_cycles;
+  config.invariants.enabled = opt.check_invariants;
+
+  if (opt.sweep) return run_sweep(opt, config);
+
+  trace::ProgramTrace program;
+  try {
+    program = load_program(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "cannot load program '" << opt.program << "': " << e.what()
+              << "\n";
+    return 1;
+  }
+
+  if (opt.validate) {
+    const trace::ValidationReport report = trace::validate_program(program);
+    std::cout << report.to_string();
+    return report.ok() ? 0 : 1;
+  }
+
   config.num_procs = static_cast<std::uint32_t>(program.num_procs());
 
   const trace::IdealProgramStats ideal = trace::analyze_program(program);
@@ -179,6 +274,15 @@ int main(int argc, char** argv) {
   }
   if (opt.per_lock) {
     report::per_lock_table(sim.lock_stats()).print(std::cout);
+  }
+  if (const core::InvariantChecker* checker = sim.invariant_checker()) {
+    std::cout << "invariants: " << util::with_commas(checker->checks())
+              << " checks, " << util::with_commas(checker->violation_count())
+              << " violations\n";
+    for (const std::string& v : checker->violations()) {
+      std::cerr << "  violation: " << v << "\n";
+    }
+    if (!checker->ok()) return 1;
   }
   return 0;
 }

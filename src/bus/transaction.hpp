@@ -85,6 +85,17 @@ struct Transaction {
     return kind == TxnKind::kReadX || kind == TxnKind::kUpgrade ||
            kind == TxnKind::kWriteThrough;
   }
+
+  /// True while this transaction reserves its line against other grants
+  /// (the arbiter's one-transaction-per-line rule).  Write-backs and
+  /// write-throughs release the line once they enter the memory module;
+  /// fetches hold it through the split-transaction response.
+  [[nodiscard]] bool holds_line_slot() const {
+    if (phase == TxnPhase::kOnBusReq) return true;
+    if (kind != TxnKind::kRead && kind != TxnKind::kReadX) return false;
+    return phase == TxnPhase::kInMemory || phase == TxnPhase::kMemOutput ||
+           phase == TxnPhase::kOnBusResp;
+  }
 };
 
 }  // namespace syncpat::bus

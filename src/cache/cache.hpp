@@ -143,6 +143,22 @@ class Cache {
   /// Current state of a line (kInvalid if absent).
   [[nodiscard]] LineState state(std::uint32_t addr) const;
 
+  /// Visits every resident (non-Invalid) line as fn(line_addr, state).
+  /// Used by the invariant checker's cross-cache MESI sweeps.
+  template <typename Fn>
+  void for_each_valid_line(Fn&& fn) const {
+    const std::uint32_t num_sets = config_.num_sets();
+    for (std::uint32_t set = 0; set < num_sets; ++set) {
+      for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        const Line& line = lines_[set * config_.associativity + way];
+        if (line.state == LineState::kInvalid) continue;
+        const std::uint32_t line_addr =
+            (line.tag * num_sets + set) * config_.line_bytes;
+        fn(line_addr, line.state);
+      }
+    }
+  }
+
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
 
  private:

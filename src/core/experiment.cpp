@@ -1,8 +1,11 @@
 #include "core/experiment.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
+#include "core/invariant_checker.hpp"
 #include "core/simulator.hpp"
 #include "workload/generator.hpp"
 
@@ -21,6 +24,12 @@ ExperimentOutcome run_experiment(const MachineConfig& config,
   cfg.num_procs = scaled.num_procs;
   Simulator sim(cfg, program);
   outcome.sim = sim.run();
+  if (const InvariantChecker* checker = sim.invariant_checker()) {
+    outcome.invariants.enabled = true;
+    outcome.invariants.checks = checker->checks();
+    outcome.invariants.violations = checker->violation_count();
+    outcome.invariants.samples = checker->violations();
+  }
   return outcome;
 }
 
@@ -32,11 +41,23 @@ trace::IdealProgramStats run_ideal(const workload::BenchmarkProfile& profile,
 }
 
 std::uint64_t scale_from_env(std::uint64_t fallback) {
-  if (const char* env = std::getenv("SYNCPAT_SCALE")) {
-    const long long value = std::atoll(env);
-    if (value >= 1) return static_cast<std::uint64_t>(value);
+  const char* env = std::getenv("SYNCPAT_SCALE");
+  if (env == nullptr) return fallback;
+  const std::string text(env);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (text.empty() || end == env || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    throw std::invalid_argument(
+        "SYNCPAT_SCALE must be a positive integer, got \"" + text + "\"");
   }
-  return fallback;
+  if (value == 0) {
+    throw std::invalid_argument(
+        "SYNCPAT_SCALE must be >= 1 (0 would produce an empty trace); unset "
+        "it to use the default scale");
+  }
+  return static_cast<std::uint64_t>(value);
 }
 
 }  // namespace syncpat::core

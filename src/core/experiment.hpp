@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/machine_config.hpp"
@@ -14,9 +15,18 @@
 
 namespace syncpat::core {
 
+/// Outcome of the opt-in InvariantChecker (all zeros when it was disabled).
+struct InvariantReport {
+  bool enabled = false;
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+  std::vector<std::string> samples;  // bounded, see InvariantConfig
+};
+
 struct ExperimentOutcome {
   trace::IdealProgramStats ideal;
   SimulationResult sim;
+  InvariantReport invariants;
 };
 
 /// Runs `profile` (optionally length-scaled by `scale`) on the machine.
@@ -29,8 +39,10 @@ struct ExperimentOutcome {
     const workload::BenchmarkProfile& profile, std::uint64_t scale = 1);
 
 /// Reads the trace-length scale from the SYNCPAT_SCALE environment variable;
-/// defaults to `fallback` (benches use 8 so the full suite runs in seconds;
-/// SYNCPAT_SCALE=1 reproduces paper-scale trace lengths).
+/// defaults to `fallback` when unset (benches use 8 so the full suite runs in
+/// seconds; SYNCPAT_SCALE=1 reproduces paper-scale trace lengths).  Throws
+/// std::invalid_argument when the variable is set but empty, non-numeric,
+/// zero, negative, or has trailing junk.
 [[nodiscard]] std::uint64_t scale_from_env(std::uint64_t fallback);
 
 }  // namespace syncpat::core

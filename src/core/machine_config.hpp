@@ -17,6 +17,19 @@
 
 namespace syncpat::core {
 
+/// Opt-in runtime invariant checking (see core/invariant_checker.hpp).
+/// Compiled in unconditionally; a disabled checker costs one branch per
+/// cycle, so benches pay nothing.
+struct InvariantConfig {
+  bool enabled = false;
+  /// Cycles between full cross-cache MESI sweeps.  Lines with a transaction
+  /// in flight are checked every cycle regardless; the sweep catches stale
+  /// sharers on quiescent lines.
+  std::uint32_t mesi_sweep_period = 64;
+  /// How many violation messages to keep verbatim (all are counted).
+  std::uint32_t max_recorded = 16;
+};
+
 struct MachineConfig {
   std::uint32_t num_procs = 12;
 
@@ -28,6 +41,7 @@ struct MachineConfig {
 
   bus::ConsistencyModel consistency = bus::ConsistencyModel::kSequential;
   sync::SchemeKind lock_scheme = sync::SchemeKind::kQueuing;
+  InvariantConfig invariants;
 
   /// Hard simulation bound; exceeded means a deadlock or runaway workload.
   std::uint64_t max_cycles = 4'000'000'000ULL;

@@ -161,10 +161,10 @@ Processor::IssueResult Processor::issue_lock_op(const Event& e) {
   const std::uint32_t lock_line = cache_.config().line_addr(e.addr);
   switch (e.op) {
     case Op::kLockAcq:
-      sim_.scheme().begin_acquire(id_, lock_line);
+      sim_.begin_lock_acquire(id_, lock_line);
       break;
     case Op::kLockRel:
-      sim_.scheme().begin_release(id_, lock_line);
+      sim_.begin_lock_release(id_, lock_line);
       break;
     case Op::kBarrier:
       sim_.barrier_arrive(id_, lock_line);

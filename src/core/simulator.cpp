@@ -2,9 +2,23 @@
 
 #include <algorithm>
 
+#include "core/invariant_checker.hpp"
 #include "util/assert.hpp"
 
 namespace syncpat::core {
+
+namespace {
+
+[[nodiscard]] bool is_fifo_scheme(sync::SchemeKind kind) {
+  // Schemes whose grant order must follow the bus order of the initial
+  // atomic acquire access.  kQueuingExact is excluded: its two-access
+  // enqueue admits a benign reordering window (§2.4).
+  return kind == sync::SchemeKind::kQueuing ||
+         kind == sync::SchemeKind::kTicket ||
+         kind == sync::SchemeKind::kAnderson;
+}
+
+}  // namespace
 
 using bus::StallCause;
 using bus::Transaction;
@@ -31,6 +45,10 @@ Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
   }
   scheme_ = sync::make_scheme(cfg_.lock_scheme, *this, lock_stats_,
                               cfg_.cache.line_bytes);
+  if (cfg_.invariants.enabled) {
+    checker_ = std::make_unique<InvariantChecker>(
+        cfg_.invariants, is_fifo_scheme(cfg_.lock_scheme), nprocs);
+  }
   for (std::uint32_t p = 0; p < nprocs; ++p) {
     procs_.push_back(std::make_unique<Processor>(
         p, *program.per_proc[p], *caches_[p], *ifaces_[p], *this));
@@ -48,6 +66,7 @@ SimulationResult Simulator::run() {
   while (!all_done()) {
     step();
   }
+  if (checker_) checker_->on_run_end(*this);
   return collect_results();
 }
 
@@ -106,6 +125,7 @@ void Simulator::step() {
   arbitrate();
   if (Transaction* done = bus_.tick()) complete_bus(done);
 
+  if (checker_) checker_->on_cycle(*this);
   check_progress();
 }
 
@@ -456,6 +476,7 @@ void Simulator::barrier_arrive(std::uint32_t proc, std::uint32_t line_addr) {
 void Simulator::lock_step_complete(std::uint32_t proc, std::uint32_t line_addr,
                                    std::uint8_t step) {
   if (step != sync::kStepBarrier) {
+    if (checker_) checker_->on_lock_step(proc, line_addr, step);
     scheme_->on_txn_complete(proc, line_addr, step);
     return;
   }
@@ -522,12 +543,28 @@ void Simulator::proc_wait(std::uint32_t proc, bool spinning,
 void Simulator::stop_spin(std::uint32_t proc) { spin_line_[proc] = 0; }
 
 void Simulator::proc_acquired(std::uint32_t proc) {
+  if (checker_) checker_->on_acquired(proc);
   spin_line_[proc] = 0;
   procs_[proc]->lock_acquired();
 }
 
 void Simulator::proc_release_done(std::uint32_t proc) {
+  if (checker_) checker_->on_release_done(proc);
   procs_[proc]->lock_release_done();
+}
+
+void Simulator::begin_lock_acquire(std::uint32_t proc, std::uint32_t lock_line) {
+  if (checker_) checker_->on_begin_acquire(proc, lock_line);
+  scheme_->begin_acquire(proc, lock_line);
+}
+
+void Simulator::begin_lock_release(std::uint32_t proc, std::uint32_t lock_line) {
+  if (checker_) checker_->on_begin_release(proc, lock_line);
+  scheme_->begin_release(proc, lock_line);
+}
+
+void Simulator::set_scheme_for_test(std::unique_ptr<sync::LockScheme> scheme) {
+  scheme_ = std::move(scheme);
 }
 
 void Simulator::schedule_timer(std::uint32_t proc, std::uint32_t line_addr,

@@ -32,6 +32,8 @@
 
 namespace syncpat::core {
 
+class InvariantChecker;
+
 class Simulator final : public sync::SchemeServices {
  public:
   /// The program trace must outlive the simulator; sources are reset on
@@ -84,6 +86,10 @@ class Simulator final : public sync::SchemeServices {
   /// A not-yet-completed transaction by `proc` on `line_addr`, if any.
   [[nodiscard]] bus::Transaction* find_proc_txn(std::uint32_t proc,
                                                 std::uint32_t line_addr) const;
+  /// Lock entry points used by Processor: notify the invariant checker (when
+  /// enabled), then forward to the scheme.
+  void begin_lock_acquire(std::uint32_t proc, std::uint32_t lock_line);
+  void begin_lock_release(std::uint32_t proc, std::uint32_t lock_line);
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
   [[nodiscard]] sync::LockScheme& scheme() { return *scheme_; }
   [[nodiscard]] std::uint32_t outstanding_fence(std::uint32_t proc) const {
@@ -100,6 +106,13 @@ class Simulator final : public sync::SchemeServices {
   [[nodiscard]] const sync::LockStatsCollector& lock_stats() const {
     return lock_stats_;
   }
+  /// Null unless config().invariants.enabled.
+  [[nodiscard]] const InvariantChecker* invariant_checker() const {
+    return checker_.get();
+  }
+  /// Replaces the lock scheme (tests only: lets test_invariants.cpp inject a
+  /// deliberately-broken scheme to prove the checker fires).
+  void set_scheme_for_test(std::unique_ptr<sync::LockScheme> scheme);
 
  private:
   void arbitrate();
@@ -123,6 +136,7 @@ class Simulator final : public sync::SchemeServices {
   mem::Memory memory_;
   sync::LockStatsCollector lock_stats_;
   std::unique_ptr<sync::LockScheme> scheme_;
+  std::unique_ptr<InvariantChecker> checker_;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t next_txn_id_ = 1;
@@ -156,6 +170,7 @@ class Simulator final : public sync::SchemeServices {
   std::uint64_t progress_marker_ = 0;
 
   friend class Processor;
+  friend class InvariantChecker;
 };
 
 }  // namespace syncpat::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 
 #include "core/experiment.hpp"
 #include "workload/profiles.hpp"
@@ -136,10 +137,24 @@ TEST(Experiments, ScaleFromEnvParsesAndDefaults) {
   EXPECT_EQ(scale_from_env(8), 8u);
   ::setenv("SYNCPAT_SCALE", "2", 1);
   EXPECT_EQ(scale_from_env(8), 2u);
+  ::setenv("SYNCPAT_SCALE", "1", 1);
+  EXPECT_EQ(scale_from_env(8), 1u);
+  ::unsetenv("SYNCPAT_SCALE");
+}
+
+TEST(Experiments, ScaleFromEnvRejectsMalformedValues) {
+  // A silently-ignored SYNCPAT_SCALE=0 used to run the default scale while
+  // the user believed they ran paper scale; malformed values now throw.
   ::setenv("SYNCPAT_SCALE", "0", 1);
-  EXPECT_EQ(scale_from_env(8), 8u);  // invalid: fall back
+  EXPECT_THROW(static_cast<void>(scale_from_env(8)), std::invalid_argument);
   ::setenv("SYNCPAT_SCALE", "junk", 1);
-  EXPECT_EQ(scale_from_env(8), 8u);
+  EXPECT_THROW(static_cast<void>(scale_from_env(8)), std::invalid_argument);
+  ::setenv("SYNCPAT_SCALE", "", 1);
+  EXPECT_THROW(static_cast<void>(scale_from_env(8)), std::invalid_argument);
+  ::setenv("SYNCPAT_SCALE", "8x", 1);
+  EXPECT_THROW(static_cast<void>(scale_from_env(8)), std::invalid_argument);
+  ::setenv("SYNCPAT_SCALE", "-4", 1);
+  EXPECT_THROW(static_cast<void>(scale_from_env(8)), std::invalid_argument);
   ::unsetenv("SYNCPAT_SCALE");
 }
 

@@ -1,0 +1,84 @@
+// Golden-results regression test: Table 3/5 headline numbers (all six paper
+// benchmarks under the queuing and test-and-test&set locks) at a fixed
+// scale, snapshotted as JSON in tests/golden/.  Any drift in simulated
+// cycle counts, lock statistics, or bus traffic fails the test.
+//
+// To update the snapshot after an intentional behavior change, run with
+// SYNCPAT_UPDATE_GOLDEN=1 and --gtest_filter='GoldenResults.*', then review
+// the diff and commit it (see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment_engine.hpp"
+#include "workload/profiles.hpp"
+
+namespace syncpat {
+namespace {
+
+constexpr std::uint64_t kGoldenScale = 64;
+
+std::string golden_path() {
+  return std::string(SYNCPAT_GOLDEN_DIR) + "/table3_5_scale64.json";
+}
+
+/// Integer metrics only: the simulation is fully integer-deterministic, so
+/// exact string equality is the right comparison.
+std::string render_snapshot(const core::GridResult& grid) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"scale\": " << kGoldenScale << ",\n";
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const core::SimulationResult& sim = grid.results[i].outcome.sim;
+    out << "    {\"label\": \"" << grid.cells[i].label() << "\", "
+        << "\"run_time\": " << sim.run_time << ", "
+        << "\"acquisitions\": " << sim.locks.acquisitions << ", "
+        << "\"transfers\": " << sim.locks.transfers << ", "
+        << "\"bus_txns\": " << sim.traffic.total() << ", "
+        << "\"barriers\": " << sim.barriers_completed << "}"
+        << (i + 1 < grid.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+TEST(GoldenResults, Table3And5HeadlineNumbers) {
+  core::ExperimentGrid grid;
+  grid.profiles = workload::paper_profiles();
+  grid.schemes = {sync::SchemeKind::kQueuing, sync::SchemeKind::kTtas};
+  grid.scales = {kGoldenScale};
+
+  const core::GridResult result = core::run_grid(grid);
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    ASSERT_TRUE(result.results[i].ok())
+        << result.cells[i].label() << ": " << result.results[i].error;
+  }
+  const std::string actual = render_snapshot(result);
+
+  if (std::getenv("SYNCPAT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual;
+    GTEST_SKIP() << "golden snapshot regenerated at " << golden_path()
+                 << "; review and commit the diff";
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good())
+      << "missing golden snapshot " << golden_path()
+      << " — regenerate with SYNCPAT_UPDATE_GOLDEN=1 (see EXPERIMENTS.md)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "simulated results drifted from the committed snapshot; if the "
+         "change is intentional, regenerate with SYNCPAT_UPDATE_GOLDEN=1 "
+         "(see EXPERIMENTS.md)";
+}
+
+}  // namespace
+}  // namespace syncpat
