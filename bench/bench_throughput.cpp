@@ -1,0 +1,206 @@
+// Tracked simulator-throughput baseline: simulated cycles per wall-clock
+// second for the Grav / Pverify / Qsort / Pdsa profiles under sequential and
+// weak consistency, with the quiescence fast-forward engine on and off.
+//
+// Emits BENCH_simulator.json (path via argv[1], default ./BENCH_simulator.json)
+// so the perf trajectory is tracked in-repo.  Wall time covers Simulator::run()
+// only (trace synthesis is timed separately and reported once per profile);
+// each cell takes the best of SYNCPAT_BENCH_REPS repetitions (default 3) to
+// shave scheduler noise.  The bench also cross-checks that fast-forward on and
+// off finish on the same cycle — a cheap tripwire for the byte-identity
+// contract that tests/test_fast_forward.cpp verifies in full.
+//
+// Honest-numbers note: the ISSUE targeted >=5x from cycle skipping, but the
+// paper's own workload parameters cap what skipping can deliver.  With 10-12
+// processors at 2-4 work cycles per reference, several references issue on
+// *most* cycles (Table 1's rates), so fully quiet cycles are 0.3% (Pverify) to
+// 15% (Grav) of the run and wall time is dominated by per-reference work that
+// must execute identically in both modes.  The run-ahead engine therefore
+// buys little on these profiles, and the measured speedup here comes mostly
+// from the hot-path work that rode along (no per-cycle allocation, throttled
+// watchdog, one cache lookup per reference, shift/mask set indexing, hoisted
+// log in the gap sampler, O(1) arbitration early-out).  See DESIGN.md section 5.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+#include "trace/source.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace syncpat;
+
+struct Cell {
+  std::string program;
+  const char* consistency = "";
+  bool fast_forward = false;
+  std::uint64_t run_cycles = 0;
+  double best_wall_ms = 0.0;
+  double cycles_per_sec = 0.0;
+  core::FastForwardStats ff;
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint32_t reps_from_env() {
+  const char* env = std::getenv("SYNCPAT_BENCH_REPS");
+  if (env == nullptr) return 3;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<std::uint32_t>(v) : 3;
+}
+
+Cell run_cell(const workload::BenchmarkProfile& scaled,
+              trace::ProgramTrace& program, bus::ConsistencyModel model,
+              bool fast_forward, std::uint32_t reps) {
+  core::MachineConfig cfg;
+  cfg.num_procs = scaled.num_procs;
+  cfg.lock_scheme = sync::SchemeKind::kTtas;
+  cfg.consistency = model;
+  cfg.fast_forward = fast_forward;
+
+  Cell cell;
+  cell.program = scaled.name;
+  cell.consistency = bus::consistency_name(model);
+  cell.fast_forward = fast_forward;
+  cell.best_wall_ms = 1e300;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    program.reset_all();
+    core::Simulator sim(cfg, program);
+    const double t0 = now_ms();
+    const core::SimulationResult res = sim.run();
+    const double wall = now_ms() - t0;
+    if (wall < cell.best_wall_ms) cell.best_wall_ms = wall;
+    cell.run_cycles = res.run_time;
+    cell.ff = sim.fast_forward_stats();
+  }
+  cell.cycles_per_sec =
+      static_cast<double>(cell.run_cycles) / (cell.best_wall_ms / 1000.0);
+  return cell;
+}
+
+void emit_json(std::ostream& out, std::uint64_t scale, std::uint32_t reps,
+               const std::vector<Cell>& cells) {
+  out << "{\n"
+      << "  \"benchmark\": \"simulator_throughput\",\n"
+      << "  \"scheme\": \"ttas\",\n"
+      << "  \"scale\": " << scale << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"wall_time\": \"best-of-reps, Simulator::run() only\",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"program\": \"%s\", \"consistency\": \"%s\", "
+        "\"fast_forward\": %s, \"run_cycles\": %llu, "
+        "\"best_wall_ms\": %.1f, \"cycles_per_sec\": %.4g, "
+        "\"ff_jumps\": %llu, \"ff_run_ahead_cycles\": %llu, "
+        "\"ff_skipped_cycles\": %llu, \"ff_probe_pauses\": %llu}%s\n",
+        c.program.c_str(), c.consistency, c.fast_forward ? "true" : "false",
+        static_cast<unsigned long long>(c.run_cycles), c.best_wall_ms,
+        c.cycles_per_sec, static_cast<unsigned long long>(c.ff.jumps),
+        static_cast<unsigned long long>(c.ff.run_ahead_cycles),
+        static_cast<unsigned long long>(c.ff.skipped_cycles),
+        static_cast<unsigned long long>(c.ff.probe_pauses),
+        i + 1 < cells.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n  \"speedup_ff_on_vs_off\": {\n";
+  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const Cell& on = cells[i];
+    const Cell& off = cells[i + 1];
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "    \"%s/%s\": %.2f%s\n",
+                  on.program.c_str(), on.consistency,
+                  on.cycles_per_sec / off.cycles_per_sec,
+                  i + 2 < cells.size() ? "," : "");
+    out << buf;
+  }
+  out << "  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t scale = syncpat::bench::scale_or_die();
+  const std::uint32_t reps = reps_from_env();
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_simulator.json";
+
+  // The four paper profiles, plus coarse-grained Grav variants (more work
+  // cycles between references — the regime of coarse-grained-locking sweeps)
+  // where quiet stretches dominate and the fast path pays off outright.  The
+  // coarse variants run at 1/4 trace length to bound bench time.
+  struct Spec {
+    const char* base;
+    const char* label;
+    double work_cycles_per_ref;  // 0 = profile default
+    std::uint64_t scale_mult;
+  };
+  const Spec kSpecs[] = {
+      {"Grav", "Grav", 0, 1},
+      {"Pverify", "Pverify", 0, 1},
+      {"Qsort", "Qsort", 0, 1},
+      {"Pdsa", "Pdsa", 0, 1},
+      {"Grav", "Grav-coarse100", 100, 4},
+      {"Grav", "Grav-coarse400", 400, 4},
+  };
+  const bus::ConsistencyModel kModels[] = {bus::ConsistencyModel::kSequential,
+                                           bus::ConsistencyModel::kWeak};
+
+  std::vector<Cell> cells;
+  for (const Spec& spec : kSpecs) {
+    const char* name = spec.label;
+    workload::BenchmarkProfile profile;
+    for (const auto& p : workload::paper_profiles()) {
+      if (p.name == spec.base) profile = p;
+    }
+    if (spec.work_cycles_per_ref > 0) {
+      profile.work_cycles_per_ref = spec.work_cycles_per_ref;
+    }
+    profile.name = spec.label;
+    const workload::BenchmarkProfile scaled =
+        profile.scaled(scale * spec.scale_mult);
+    const double tg0 = now_ms();
+    trace::ProgramTrace program = workload::make_program_trace(scaled);
+    std::cout << name << ": trace synthesis " << now_ms() - tg0 << " ms\n";
+    for (const bus::ConsistencyModel model : kModels) {
+      const Cell on = run_cell(scaled, program, model, true, reps);
+      const Cell off = run_cell(scaled, program, model, false, reps);
+      if (on.run_cycles != off.run_cycles) {
+        std::cerr << "FATAL: fast-forward changed " << name << "/"
+                  << on.consistency << " run time: " << on.run_cycles
+                  << " vs " << off.run_cycles << "\n";
+        return 1;
+      }
+      std::cout << "  " << name << "/" << on.consistency << ": ff-on "
+                << on.cycles_per_sec << " cyc/s, ff-off " << off.cycles_per_sec
+                << " cyc/s (" << on.cycles_per_sec / off.cycles_per_sec
+                << "x)\n";
+      cells.push_back(on);
+      cells.push_back(off);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  emit_json(out, scale, reps, cells);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -15,7 +15,11 @@
 //     --mem-cycles N        memory access time (default 3)
 //     --jobs N              worker threads for --sweep (0 = all cores)
 //     --check-invariants    run with the runtime invariant checker enabled;
-//                           exits non-zero on any violation
+//                           exits non-zero on any violation (forces per-cycle
+//                           stepping: the checker observes every cycle)
+//     --no-fast-forward     disable the quiescence fast-forward and step
+//                           every cycle (results are identical; this is the
+//                           CLI spelling of SYNCPAT_FAST_FORWARD=0)
 //     --sweep               run every scheme x both memory models on the
 //                           parallel engine and print a comparison table
 //                           (profiles only)
@@ -48,8 +52,9 @@ using namespace syncpat;
   std::cerr << "usage: " << argv0
             << " [--program P] [--scheme S] [--consistency C]\n"
                "  [--write-policy W] [--scale N] [--procs N] [--buffer N]\n"
-               "  [--mem-cycles N] [--jobs N] [--check-invariants] [--sweep]\n"
-               "  [--per-lock] [--csv] [--validate]\n";
+               "  [--mem-cycles N] [--jobs N] [--check-invariants]\n"
+               "  [--no-fast-forward] [--sweep] [--per-lock] [--csv] "
+               "[--validate]\n";
   std::exit(2);
 }
 
@@ -64,6 +69,7 @@ struct Options {
   std::uint32_t mem_cycles = 3;
   std::uint32_t jobs = 0;
   bool check_invariants = false;
+  bool fast_forward = true;
   bool sweep = false;
   bool per_lock = false;
   bool csv = false;
@@ -95,6 +101,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--mem-cycles") opt.mem_cycles = static_cast<std::uint32_t>(std::atoi(value().c_str()));
     else if (arg == "--jobs" || arg == "-j") opt.jobs = static_cast<std::uint32_t>(std::atoi(value().c_str()));
     else if (arg == "--check-invariants") opt.check_invariants = true;
+    else if (arg == "--no-fast-forward") opt.fast_forward = false;
     else if (arg == "--sweep") opt.sweep = true;
     else if (arg == "--per-lock") opt.per_lock = true;
     else if (arg == "--csv") opt.csv = true;
@@ -217,6 +224,7 @@ int main(int argc, char** argv) {
   config.cache_bus_buffer_depth = opt.buffer;
   config.memory.access_cycles = opt.mem_cycles;
   config.invariants.enabled = opt.check_invariants;
+  config.fast_forward = opt.fast_forward;
 
   if (opt.sweep) return run_sweep(opt, config);
 

@@ -31,6 +31,10 @@ class Bus {
   }
 
   [[nodiscard]] bool free() const { return current_ == nullptr; }
+  /// Quiescence predicate for the fast-forward engine: nothing occupies the
+  /// bus, so a bulk cycle advance observes exactly what per-cycle ticking
+  /// would (idle cycles never change arbitration state).
+  [[nodiscard]] bool idle() const { return current_ == nullptr; }
   [[nodiscard]] Transaction* current() const { return current_; }
 
   /// Occupies the bus with `txn` for `cycles` bus cycles starting this
@@ -52,6 +56,14 @@ class Bus {
     Transaction* done = current_;
     current_ = nullptr;
     return done;
+  }
+
+  /// Bulk-advances `cycles` idle cycles in one step (fast-forward over a
+  /// quiescent machine).  Equivalent to `cycles` calls to tick() with no
+  /// occupant: only the utilization denominator moves.  Precondition: idle().
+  void advance_idle(std::uint64_t cycles) {
+    SYNCPAT_ASSERT(idle());
+    total_cycles_ += cycles;
   }
 
   /// Round-robin scan order: returns the port to consider `offset` places

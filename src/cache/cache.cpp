@@ -21,6 +21,10 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   SYNCPAT_ASSERT(config_.size_bytes % (config_.line_bytes * config_.associativity) ==
                  0);
   SYNCPAT_ASSERT(std::has_single_bit(config_.num_sets()));
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config_.line_bytes));
+  set_mask_ = config_.num_sets() - 1;
+  tag_shift_ =
+      line_shift_ + static_cast<std::uint32_t>(std::countr_zero(config_.num_sets()));
   lines_.resize(static_cast<std::size_t>(config_.num_sets()) *
                 config_.associativity);
 }
@@ -41,7 +45,20 @@ const Cache::Line* Cache::find(std::uint32_t addr) const {
 }
 
 AccessResult Cache::access(std::uint32_t addr, AccessClass cls) {
+  return access_line(find(addr), cls);
+}
+
+AccessResult Cache::access_or_pending(std::uint32_t addr, AccessClass cls) {
   Line* line = find(addr);
+  if (line != nullptr && line->state == LineState::kPending) {
+    AccessResult result;
+    result.pending = true;
+    return result;
+  }
+  return access_line(line, cls);
+}
+
+AccessResult Cache::access_line(Line* line, AccessClass cls) {
   const bool present =
       line != nullptr && line->state != LineState::kPending;
   AccessResult result;

@@ -61,6 +61,9 @@ struct AccessResult {
   // Write hit on a Shared line: data present but an invalidation of other
   // copies must complete before the write is performed.
   bool needs_upgrade = false;
+  // Only set by access_or_pending(): the line has a fill in flight, nothing
+  // was counted or touched — merge into or wait on the in-flight transaction.
+  bool pending = false;
 };
 
 /// Result of a bus-side snoop.
@@ -103,6 +106,12 @@ class Cache {
   /// reports needs_upgrade and leaves the state unchanged until
   /// complete_upgrade().  On a miss nothing changes (caller then allocates).
   AccessResult access(std::uint32_t addr, AccessClass cls);
+
+  /// As access(), except a line with a fill in flight reports `pending`
+  /// (counting nothing and touching nothing) instead of registering a miss.
+  /// One tag lookup where the processor's issue path previously needed a
+  /// state() probe followed by access().
+  AccessResult access_or_pending(std::uint32_t addr, AccessClass cls);
 
   /// Reserves a way for an incoming line: evicts the LRU non-pending way
   /// and marks the new line Pending.  Returns the dirty victim's line
@@ -168,16 +177,22 @@ class Cache {
     std::uint64_t lru = 0;
   };
 
+  // line_bytes and num_sets are asserted powers of two, so the set/tag split
+  // reduces to shifts and a mask (this is the hottest path in the simulator).
   [[nodiscard]] std::uint32_t set_index(std::uint32_t addr) const {
-    return (addr / config_.line_bytes) % config_.num_sets();
+    return (addr >> line_shift_) & set_mask_;
   }
   [[nodiscard]] std::uint32_t tag_of(std::uint32_t addr) const {
-    return addr / (config_.line_bytes * config_.num_sets());
+    return addr >> tag_shift_;
   }
   [[nodiscard]] Line* find(std::uint32_t addr);
   [[nodiscard]] const Line* find(std::uint32_t addr) const;
+  AccessResult access_line(Line* line, AccessClass cls);
 
   CacheConfig config_;
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t set_mask_ = 0;
+  std::uint32_t tag_shift_ = 0;
   std::vector<Line> lines_;  // num_sets * associativity, set-major
   std::uint64_t lru_clock_ = 0;
   CacheStats stats_;

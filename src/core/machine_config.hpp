@@ -43,6 +43,15 @@ struct MachineConfig {
   sync::SchemeKind lock_scheme = sync::SchemeKind::kQueuing;
   InvariantConfig invariants;
 
+  /// Quiescence-aware fast-forward (on by default): when no transaction
+  /// exists anywhere in the machine, Simulator::run() jumps the cycle counter
+  /// to the next statically-known event and bulk-accounts the skipped cycles,
+  /// producing byte-identical results to per-cycle stepping at a fraction of
+  /// the wall time.  Forced off while the invariant checker is enabled (it
+  /// validates per cycle) and by the SYNCPAT_FAST_FORWARD=0 escape hatch;
+  /// SYNCPAT_FAST_FORWARD=1 forces it on over a `false` here.
+  bool fast_forward = true;
+
   /// Hard simulation bound; exceeded means a deadlock or runaway workload.
   std::uint64_t max_cycles = 4'000'000'000ULL;
 

@@ -105,6 +105,52 @@ void Processor::tick() {
   }
 }
 
+std::uint64_t Processor::cycles_until_next_event() const {
+  switch (state_) {
+    case ProcState::kRunning:
+      // The tick that brings gap_left_ to 0 runs issue_loop; every earlier
+      // tick only counts a work cycle.  gap 0 means a resume/retry issues on
+      // the very next tick.
+      return gap_left_ > 0 ? gap_left_ : 1;
+    case ProcState::kSpin:
+    case ProcState::kWaitLock:
+      // Woken only by an invalidation, timer, or hand-off — all external.
+      return kNever;
+    case ProcState::kDone:
+      // A finished trace only drains trailing buffered writes, and those are
+      // transactions, which a quiescent machine has none of.
+      return pending_.empty() ? kNever : 1;
+    case ProcState::kWaitMem:
+    case ProcState::kStallStructural:
+    case ProcState::kWaitFence:
+      // These always hold (or wait on) live transactions or re-check state
+      // next tick; a quiescent machine resolves them within one cycle.
+      return 1;
+  }
+  return 1;
+}
+
+void Processor::skip_cycles(std::uint64_t cycles) {
+  switch (state_) {
+    case ProcState::kRunning:
+      // Mirrors tick(): one work cycle per quiet cycle.  The caller skips at
+      // most gap_left_ - 1 cycles, so the issuing tick still runs live.
+      SYNCPAT_ASSERT(gap_left_ > cycles);
+      stats_.work_cycles += cycles;
+      gap_left_ -= cycles;
+      break;
+    case ProcState::kSpin:
+    case ProcState::kWaitLock:
+      // Mirrors count_stall_cycle() for these states.
+      stats_.stall_lock += cycles;
+      break;
+    case ProcState::kDone:
+      break;
+    default:
+      SYNCPAT_ASSERT_MSG(false, "skip_cycles on a non-quiescent processor state");
+  }
+}
+
 bool Processor::fence_pending() const {
   return !iface_.empty() || !pending_.empty() ||
          sim_.outstanding_fence(id_) > 0;
@@ -181,8 +227,23 @@ Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
                           : e.op == Op::kLoad ? AccessClass::kRead
                                               : AccessClass::kWrite;
 
+  const bool weak = iface_.model() == bus::ConsistencyModel::kWeak;
+  const bool write_through_store =
+      cls == AccessClass::kWrite &&
+      sim_.config().write_policy == cache::WritePolicy::kWriteThrough;
+
+  // One tag lookup covers both the in-flight-fill check and the hit/miss
+  // classification (write-through stores keep their own counting rules and
+  // still need the explicit fill-in-flight probe first).
+  cache::AccessResult res;
+  if (write_through_store) {
+    res.pending = cache_.state(e.addr) == cache::LineState::kPending;
+  } else {
+    res = cache_.access_or_pending(e.addr, cls);
+  }
+
   // A line with a fill already in flight: merge or wait.
-  if (cache_.state(e.addr) == cache::LineState::kPending) {
+  if (res.pending) {
     Transaction* inflight = sim_.find_proc_txn(id_, line);
     SYNCPAT_ASSERT_MSG(inflight != nullptr,
                        "pending line without an in-flight transaction");
@@ -198,12 +259,9 @@ Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
     return IssueResult::kStalled;
   }
 
-  const bool weak = iface_.model() == bus::ConsistencyModel::kWeak;
-
   // Write-through cache: every store is a one-word memory write on the bus;
   // no line is dirtied and a miss allocates nothing (no-write-allocate).
-  if (cls == AccessClass::kWrite &&
-      sim_.config().write_policy == cache::WritePolicy::kWriteThrough) {
+  if (write_through_store) {
     cache_.access_write_through(e.addr);
     if (Transaction* existing = sim_.find_proc_txn(id_, line);
         existing != nullptr && existing->kind == TxnKind::kWriteThrough) {
@@ -228,8 +286,6 @@ Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
     }
     return IssueResult::kAdvance;
   }
-
-  const cache::AccessResult res = cache_.access(e.addr, cls);
 
   if (res.hit && !res.needs_upgrade) return IssueResult::kAdvance;
 

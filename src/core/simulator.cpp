@@ -1,6 +1,8 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/invariant_checker.hpp"
 #include "util/assert.hpp"
@@ -8,6 +10,16 @@
 namespace syncpat::core {
 
 namespace {
+
+/// Resolves the fast-forward switch: SYNCPAT_FAST_FORWARD=0 forces per-cycle
+/// stepping, any other set value forces fast-forward, unset keeps the config
+/// value.  The invariant checker overrides all of this (it must observe every
+/// cycle), handled by the caller.
+[[nodiscard]] bool fast_forward_from_env(bool config_value) {
+  const char* env = std::getenv("SYNCPAT_FAST_FORWARD");
+  if (env == nullptr) return config_value;
+  return std::strcmp(env, "0") != 0;
+}
 
 [[nodiscard]] bool is_fifo_scheme(sync::SchemeKind kind) {
   // Schemes whose grant order must follow the bus order of the initial
@@ -49,6 +61,11 @@ Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
     checker_ = std::make_unique<InvariantChecker>(
         cfg_.invariants, is_fifo_scheme(cfg_.lock_scheme), nprocs);
   }
+  ff_enabled_ = fast_forward_from_env(cfg_.fast_forward) && checker_ == nullptr;
+  ff_stats_.enabled = ff_enabled_;
+  ff_next_issue_.resize(nprocs);
+  ff_acct_.resize(nprocs);
+  ff_due_.reserve(nprocs);
   for (std::uint32_t p = 0; p < nprocs; ++p) {
     procs_.push_back(std::make_unique<Processor>(
         p, *program.per_proc[p], *caches_[p], *ifaces_[p], *this));
@@ -63,11 +80,181 @@ bool Simulator::all_done() const {
 }
 
 SimulationResult Simulator::run() {
-  while (!all_done()) {
-    step();
+  if (ff_enabled_) {
+    while (!all_done()) {
+      fast_forward();
+      // The run-ahead loop may have executed the final processor's completing
+      // tick itself; stepping once more would move the clock past it.
+      if (all_done()) break;
+      step();
+    }
+  } else {
+    while (!all_done()) {
+      step();
+    }
   }
   if (checker_) checker_->on_run_end(*this);
   return collect_results();
+}
+
+bool Simulator::quiescent() const {
+  return active_.empty() && bus_.idle() && memory_.quiescent() &&
+         line_inflight_.empty() && fill_retry_.empty();
+}
+
+// Effectiveness probe, deterministic in simulation state.  On issue-dense
+// stretches (several references issuing on most cycles) quiet cycles are too
+// rare to pay for the run-ahead bookkeeping, so a window that skipped fewer
+// than ~6% of its cycles pauses the engine, with exponential backoff on
+// consecutive unproductive windows.  Probing resumes after each pause, so a
+// later quiescent phase (contention parking processors in cached spins, a
+// coarse-grained region) re-engages the fast path within one backoff period.
+void Simulator::ff_probe() {
+  if (ff_paused_until_ != 0) {
+    // A pause just expired: open a fresh probe window.
+    ff_paused_until_ = 0;
+    ff_window_skip_base_ = ff_stats_.skipped_cycles;
+    ff_eval_cycle_ = cycle_ + kFfEvalPeriod;
+    return;
+  }
+  const std::uint64_t window_skipped =
+      ff_stats_.skipped_cycles - ff_window_skip_base_;
+  if (window_skipped * 16 < kFfEvalPeriod) {
+    ++ff_stats_.probe_pauses;
+    ff_paused_until_ = cycle_ + ff_pause_windows_ * kFfEvalPeriod;
+    ff_eval_cycle_ = ff_paused_until_;
+    if (ff_pause_windows_ < kFfMaxPauseWindows) ff_pause_windows_ *= 2;
+  } else {
+    ff_pause_windows_ = 1;
+    ff_window_skip_base_ = ff_stats_.skipped_cycles;
+    ff_eval_cycle_ = cycle_ + kFfEvalPeriod;
+  }
+}
+
+void Simulator::fast_forward() {
+  if (cycle_ >= ff_eval_cycle_) ff_probe();
+  if (cycle_ < ff_paused_until_) return;
+  if (!quiescent()) return;
+
+  // First cycle the run-ahead loop must NOT execute itself: a backoff-timer
+  // fire creates a transaction (step() runs it), and a runaway trace has to
+  // trip step()'s max_cycles assert exactly as per-cycle stepping would.
+  // After the previous step every timer satisfies fire_cycle > cycle_.
+  std::uint64_t horizon = cfg_.max_cycles == Processor::kNever
+                              ? Processor::kNever
+                              : cfg_.max_cycles + 1;
+  for (const Timer& t : timers_) horizon = std::min(horizon, t.fire_cycle);
+
+  const auto nprocs = static_cast<std::uint32_t>(procs_.size());
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    const Processor& proc = *procs_[p];
+    if (proc.state() == ProcState::kSpin &&
+        !scheme_->spinner_skippable(p, spin_line_[p])) {
+      return;  // scheme vetoes skipping this spinner: stay per-cycle
+    }
+    const std::uint64_t d = proc.cycles_until_next_event();
+    if (d == 1 && proc.state() != ProcState::kRunning) {
+      return;  // transient wait state: one per-cycle step resolves it
+    }
+    ff_next_issue_[p] = d == Processor::kNever ? Processor::kNever : cycle_ + d;
+    ff_acct_[p] = cycle_;
+  }
+
+  // Event-driven loop: execute issuing ticks in global time order with the
+  // real per-cycle machinery.  Every other phase of step() is a no-op on a
+  // quiescent machine — nothing to retry or grant (a transaction created at
+  // cycle T reaches its bus interface only at T + 1), an empty memory module
+  // cannot change state, and no timer is due before `horizon` — so between
+  // issuing ticks processors only burn bulk-accountable work/stall cycles.
+  const std::uint64_t entry_cycle = cycle_;
+  std::uint64_t executed = 0;
+  for (;;) {
+    // One pass: the earliest next-issue cycle and the processors due on it.
+    std::uint64_t t_min = Processor::kNever;
+    ff_due_.clear();
+    for (std::uint32_t p = 0; p < nprocs; ++p) {
+      const std::uint64_t v = ff_next_issue_[p];
+      if (v > t_min) continue;
+      if (v < t_min) {
+        t_min = v;
+        ff_due_.clear();
+      }
+      ff_due_.push_back(p);
+    }
+
+    if (t_min >= horizon) {
+      // Nothing left to execute before the horizon.  Jump quietly: to one
+      // cycle before a pending timer fire, or to max_cycles for a runaway
+      // trace.  With neither — every processor event-driven and no timer
+      // pending — this is a genuine deadlock: stay put so per-cycle stepping
+      // reaches the progress watchdog's diagnostic.
+      if (horizon <= cfg_.max_cycles) {
+        cycle_ = horizon - 1;
+      } else if (t_min != Processor::kNever) {
+        cycle_ = cfg_.max_cycles;
+      }
+      break;
+    }
+
+    cycle_ = t_min;
+    ++executed;
+    for (const std::uint32_t p : ff_due_) {
+      if (const std::uint64_t quiet = (t_min - 1) - ff_acct_[p]; quiet > 0) {
+        procs_[p]->skip_cycles(quiet);
+      }
+      procs_[p]->tick();
+      ff_acct_[p] = t_min;
+    }
+    // Processor ticks are the only thing that ran, and they can only alter
+    // the rest of the machine by creating transactions — so active_ alone
+    // decides whether the machine is still quiescent (cf. quiescent()).
+    if (!active_.empty()) break;  // a transaction exists: step() takes over
+
+    // Re-derive the ticked processors' next issuing cycle.  A tick that left
+    // the machine quiescent ended in kRunning (pure hits), kDone, or a
+    // no-traffic lock wait; anything else hands back to per-cycle stepping.
+    bool bail = false;
+    bool completed_trace = false;
+    for (const std::uint32_t p : ff_due_) {
+      const Processor& proc = *procs_[p];
+      const std::uint64_t d = proc.cycles_until_next_event();
+      if (proc.state() == ProcState::kRunning) {
+        ff_next_issue_[p] = t_min + d;
+      } else if (d == Processor::kNever) {
+        if (proc.state() == ProcState::kSpin &&
+            !scheme_->spinner_skippable(p, spin_line_[p])) {
+          bail = true;
+          break;
+        }
+        ff_next_issue_[p] = Processor::kNever;
+        completed_trace |= proc.done();
+      } else {
+        bail = true;
+        break;
+      }
+    }
+    if (bail) break;
+    // The completing tick of the final trace must be the last cycle of the
+    // run: run() exits without another step, as per-cycle stepping does.
+    if (completed_trace && all_done()) break;
+  }
+
+  // Settle: bring every processor's quiet bookkeeping and the bus's
+  // utilization denominator up to the cycle the machine now stands at.
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    if (const std::uint64_t lag = cycle_ - ff_acct_[p]; lag > 0) {
+      procs_[p]->skip_cycles(lag);
+    }
+  }
+  if (cycle_ > entry_cycle) {
+    bus_.advance_idle(cycle_ - entry_cycle);
+    ++ff_stats_.jumps;
+    ff_stats_.run_ahead_cycles += executed;
+    ff_stats_.skipped_cycles += (cycle_ - entry_cycle) - executed;
+    // Fast-forward boundary: re-arm the watchdog scan so a stretch spanning
+    // several check periods still records the bulk-accounted progress.
+    check_progress();
+  }
 }
 
 void Simulator::step() {
@@ -75,17 +262,20 @@ void Simulator::step() {
   SYNCPAT_ASSERT_MSG(cycle_ <= cfg_.max_cycles,
                      "simulation exceeded max_cycles (runaway or deadlock)");
 
-  // 1. Fills that were waiting for a cache way.
+  // 1. Fills that were waiting for a cache way.  The list is swapped into a
+  // member scratch buffer and rebuilt in place (capacities ping-pong between
+  // the two vectors), so the steady state allocates nothing; finalize() can
+  // safely run mid-loop because nothing it reaches re-enters fill_retry_.
   if (!fill_retry_.empty()) {
-    std::vector<Transaction*> still_waiting;
-    for (Transaction* txn : fill_retry_) {
+    fill_retry_scratch_.clear();
+    fill_retry_scratch_.swap(fill_retry_);
+    for (Transaction* txn : fill_retry_scratch_) {
       if (fill_own(txn)) {
         finalize(txn);
       } else {
-        still_waiting.push_back(txn);
+        fill_retry_.push_back(txn);
       }
     }
-    fill_retry_ = std::move(still_waiting);
   }
 
   // 2. Memory.
@@ -97,7 +287,8 @@ void Simulator::step() {
     // module, preserving the paper's 6-cycle uncontended miss).
     response->issued_cycle = cycle_;
   }
-  for (Transaction* absorbed : memory_.drain_absorbed()) {
+  memory_.drain_absorbed_into(absorbed_scratch_);
+  for (Transaction* absorbed : absorbed_scratch_) {
     if (absorbed->requester_waiting ||
         (absorbed->requester >= 0 && !absorbed->is_lock_op &&
          absorbed->kind == TxnKind::kWriteThrough)) {
@@ -107,15 +298,16 @@ void Simulator::step() {
     }
   }
 
-  // 2b. Backoff timers.
+  // 2b. Backoff timers.  timers_due_ is member scratch (on_timer may push
+  // new timers onto timers_, which must not invalidate this cycle's batch).
   if (!timers_.empty()) {
-    std::vector<Timer> due;
+    timers_due_.clear();
     std::erase_if(timers_, [&](const Timer& t) {
       if (t.fire_cycle > cycle_) return false;
-      due.push_back(t);
+      timers_due_.push_back(t);
       return true;
     });
-    for (const Timer& t : due) scheme_->on_timer(t.proc, t.line_addr);
+    for (const Timer& t : timers_due_) scheme_->on_timer(t.proc, t.line_addr);
   }
 
   // 3. Processors.
@@ -126,7 +318,10 @@ void Simulator::step() {
   if (Transaction* done = bus_.tick()) complete_bus(done);
 
   if (checker_) checker_->on_cycle(*this);
-  check_progress();
+  // The watchdog scan walks every processor; a periodic check (plus one at
+  // every fast-forward boundary) keeps the 500k-cycle deadlock diagnostic
+  // while taking it off the per-cycle path.
+  if ((cycle_ & (kProgressCheckPeriod - 1)) == 0) check_progress();
 }
 
 void Simulator::check_progress() {
@@ -209,6 +404,10 @@ void Simulator::retire(Transaction* txn) {
 
 void Simulator::arbitrate() {
   if (!bus_.free()) return;
+  // Every grantable request — queued at an interface or awaiting a memory
+  // response — is an active transaction, so an empty table means the port
+  // scan below cannot grant anything.
+  if (active_.empty()) return;
   const std::uint32_t ports = static_cast<std::uint32_t>(procs_.size()) + 1;
   for (std::uint32_t offset = 0; offset < ports; ++offset) {
     const std::uint32_t port = bus_.rr_port(offset);

@@ -34,6 +34,21 @@ namespace syncpat::core {
 
 class InvariantChecker;
 
+/// Bookkeeping of the quiescence fast-forward engine (see run()).  Purely
+/// diagnostic: skipped cycles are bulk-accounted into the same counters
+/// per-cycle stepping feeds, so SimulationResult never depends on these.
+struct FastForwardStats {
+  bool enabled = false;
+  std::uint64_t jumps = 0;             // quiescent stretches taken over by the
+                                       // run-ahead loop
+  std::uint64_t skipped_cycles = 0;    // quiet cycles bulk-accounted and never
+                                       // individually stepped
+  std::uint64_t run_ahead_cycles = 0;  // cycles whose issuing ticks ran inside
+                                       // the run-ahead loop instead of step()
+  std::uint64_t probe_pauses = 0;      // times the effectiveness probe paused
+                                       // the engine on an unproductive window
+};
+
 class Simulator final : public sync::SchemeServices {
  public:
   /// The program trace must outlive the simulator; sources are reset on
@@ -44,13 +59,26 @@ class Simulator final : public sync::SchemeServices {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Runs to completion of every processor's trace.
+  /// Runs to completion of every processor's trace.  When fast-forward is
+  /// active (config().fast_forward, overridable by SYNCPAT_FAST_FORWARD and
+  /// forced off by the invariant checker), quiescent stretches are jumped in
+  /// one step; results are byte-identical either way.
   SimulationResult run();
 
-  /// Single-step interface for tests.
+  /// Single-step interface for tests.  Always advances exactly one cycle;
+  /// fast-forward only ever engages inside run().
   void step();
   [[nodiscard]] bool all_done() const;
   [[nodiscard]] SimulationResult collect_results() const;
+
+  /// True when no transaction exists anywhere in the machine: nothing on the
+  /// bus or queued for it, memory fully drained, no fill retries, no line in
+  /// flight.  Every transaction lives in active_ from creation to retirement,
+  /// so the first test implies the rest (the others are cheap corroboration).
+  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] const FastForwardStats& fast_forward_stats() const {
+    return ff_stats_;
+  }
 
   // --- SchemeServices ------------------------------------------------------
   [[nodiscard]] std::uint64_t now() const override { return cycle_; }
@@ -126,6 +154,14 @@ class Simulator final : public sync::SchemeServices {
   void retire(bus::Transaction* txn);
   void notify_invalidation(std::uint32_t proc, std::uint32_t line_addr);
   void check_progress();
+  /// Event-driven run-ahead over a quiescent stretch.  While no transaction
+  /// exists anywhere, processors interact with nothing outside their own
+  /// cache, so their issuing ticks can be executed in global time order with
+  /// the real tick() and every quiet cycle in between bulk-accounted.  Hands
+  /// back to step() the moment a transaction appears, a backoff timer is due,
+  /// or a processor enters a state it cannot reason about.  No-op when the
+  /// machine is not quiescent.
+  void fast_forward();
 
   MachineConfig cfg_;
   std::string program_name_;
@@ -146,6 +182,28 @@ class Simulator final : public sync::SchemeServices {
   std::vector<std::uint32_t> spin_line_;        // per proc; 0 = not spinning
   std::vector<std::uint32_t> outstanding_fence_;  // per proc
 
+  bool ff_enabled_ = false;
+  FastForwardStats ff_stats_;
+  // Run-ahead scratch (sized once): per-processor absolute cycle of the next
+  // issuing tick (Processor::kNever for event-driven waiters) and the cycle
+  // through which each processor's quiet bookkeeping is already accounted.
+  std::vector<std::uint64_t> ff_next_issue_;
+  std::vector<std::uint64_t> ff_acct_;
+  std::vector<std::uint32_t> ff_due_;  // procs issuing at the current t_min
+  // Effectiveness probe (see fast_forward()): windows where skipping was too
+  // rare to pay for the entry scans pause the engine with exponential
+  // backoff; probing resumes so later quiescent phases are still caught.
+  static constexpr std::uint64_t kFfEvalPeriod = 1u << 18;
+  static constexpr std::uint64_t kFfMaxPauseWindows = 16;
+  std::uint64_t ff_eval_cycle_ = kFfEvalPeriod;
+  std::uint64_t ff_paused_until_ = 0;      // 0 = engine active
+  std::uint64_t ff_window_skip_base_ = 0;  // skipped_cycles at window start
+  std::uint64_t ff_pause_windows_ = 1;     // current backoff length
+  void ff_probe();
+  // Scratch buffers reused every cycle so step() never heap-allocates.
+  std::vector<bus::Transaction*> fill_retry_scratch_;
+  std::vector<bus::Transaction*> absorbed_scratch_;
+
   struct BarrierState {
     struct Arrival {
       std::uint32_t proc;
@@ -159,13 +217,17 @@ class Simulator final : public sync::SchemeServices {
     std::uint32_t proc;
     std::uint32_t line_addr;
   };
-  std::vector<Timer> timers_;  // few entries; scanned each cycle
+  std::vector<Timer> timers_;      // few entries; scanned each cycle
+  std::vector<Timer> timers_due_;  // scratch: timers firing this cycle
   std::uint64_t barriers_completed_ = 0;
   util::RunningStat barrier_wait_;
   util::RunningStat barrier_waiters_at_arrival_;
   BusTraffic traffic_;
 
-  // Progress watchdog.
+  // Progress watchdog: scanned every kProgressCheckPeriod cycles (and at
+  // fast-forward boundaries) instead of every cycle; the 500k-cycle deadlock
+  // threshold is unchanged, so diagnosis moves by at most one period.
+  static constexpr std::uint64_t kProgressCheckPeriod = 1024;  // power of two
   std::uint64_t last_progress_cycle_ = 0;
   std::uint64_t progress_marker_ = 0;
 

@@ -53,7 +53,21 @@ class Memory {
     return std::exchange(absorbed_, {});
   }
 
+  /// Allocation-free drain for the simulator's hot path: moves the absorbed
+  /// transactions into `out` (cleared first), keeping both vectors' capacity
+  /// across cycles.
+  void drain_absorbed_into(std::vector<bus::Transaction*>& out) {
+    out.clear();
+    out.swap(absorbed_);
+  }
+
   [[nodiscard]] bool idle() const { return active_ == nullptr && input_.empty(); }
+  /// Quiescence predicate for the fast-forward engine: no access in service
+  /// and every buffer empty, so idle cycles cannot change module state.
+  [[nodiscard]] bool quiescent() const {
+    return active_ == nullptr && input_.empty() && output_.empty() &&
+           absorbed_.empty();
+  }
   [[nodiscard]] std::uint64_t requests_served() const { return served_; }
   [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
 

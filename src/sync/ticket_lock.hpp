@@ -32,6 +32,12 @@ class TicketLock final : public LockScheme {
   [[nodiscard]] const char* name() const override { return "ticket"; }
   [[nodiscard]] bool held_by_other(std::uint32_t proc,
                                    std::uint32_t lock_line) const override;
+  /// Now-serving spinners wake only via the releaser's invalidation, so the
+  /// quiescence fast-forward may skip over them.
+  [[nodiscard]] bool spinner_skippable(std::uint32_t /*proc*/,
+                                       std::uint32_t /*spin_line*/) const override {
+    return true;
+  }
 
   /// The now-serving counter lives on the cache line after the ticket line.
   [[nodiscard]] std::uint32_t serving_line(std::uint32_t lock_line) const {

@@ -92,8 +92,15 @@ class Rng {
   std::uint64_t geometric(double p) {
     SYNCPAT_ASSERT(p > 0.0 && p <= 1.0);
     if (p >= 1.0) return 0;
+    return geometric_from_log(std::log1p(-p));
+  }
+
+  /// geometric() with the invariant log1p(-p) precomputed by the caller:
+  /// hot loops drawing many values at a fixed p hoist the log out of the
+  /// per-draw path.  Same division, so results stay bit-identical.
+  std::uint64_t geometric_from_log(double log1m_p) {
     const double u = uniform();
-    return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+    return static_cast<std::uint64_t>(std::log1p(-u) / log1m_p);
   }
 
   /// Exponential with the given mean, rounded to an integer cycle count.

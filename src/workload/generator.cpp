@@ -43,6 +43,9 @@ void ProfileTraceSource::reset() {
                        (profile_.locking.barriers_per_proc + 1))
           : 0;
 
+  const double mean_gap = std::max(1.0, profile_.work_cycles_per_ref);
+  gap_log1m_p_ = mean_gap > 1.0 ? std::log1p(-1.0 / mean_gap) : 0.0;
+
   const LockingModel& lk = profile_.locking;
   outer_target_ = lk.pairs_per_proc - lk.nested_per_proc;
   if (outer_target_ > 0) {
@@ -130,8 +133,10 @@ void ProfileTraceSource::synthesize() {
 }
 
 std::uint32_t ProfileTraceSource::next_gap() {
-  const double mean = std::max(1.0, profile_.work_cycles_per_ref);
-  std::uint64_t gap = 1 + rng_.geometric(1.0 / mean);
+  // gap_log1m_p_ == 0 marks a mean gap of exactly 1: geometric(1.0) draws
+  // nothing and contributes 0, matching the original per-event computation.
+  std::uint64_t gap =
+      1 + (gap_log1m_p_ != 0.0 ? rng_.geometric_from_log(gap_log1m_p_) : 0);
   if (profile_.cpi_skew > 0.0 && proc_ == profile_.skew_proc) {
     gap = static_cast<std::uint64_t>(
         std::llround(static_cast<double>(gap) * (1.0 + profile_.cpi_skew)));

@@ -45,6 +45,9 @@ class ProfileTraceSource final : public trace::TraceSource {
   double cs_probability_ = 0.0;      // per normal ref: start a critical section
   double burst_probability_ = 0.0;   // same, inside the burst window
   double nested_probability_ = 0.0;  // per outer CS: contains an inner pair
+  double gap_log1m_p_ = 0.0;         // log1p(-1/mean_gap), hoisted out of the
+                                     // per-event geometric draw in next_gap();
+                                     // 0 means mean_gap == 1 (no draw at all)
   std::uint64_t outer_target_ = 0;
   std::uint64_t outer_emitted_ = 0;
   std::uint64_t burst_window_refs_ = 0;

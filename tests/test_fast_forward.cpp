@@ -1,0 +1,176 @@
+// Differential test for the quiescence fast-forward engine: running with the
+// run-ahead loop enabled must produce a byte-identical SimulationResult to
+// per-cycle stepping for every lock scheme, consistency model, and write
+// policy.  Every field — including RunningStat moments, which would expose a
+// single reordered or double-counted sample — is rendered with hexfloat
+// precision and compared as a string so nothing is hidden by rounding.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "bus/interface.hpp"
+#include "core/machine_config.hpp"
+#include "core/results.hpp"
+#include "core/simulator.hpp"
+#include "sync/scheme_factory.hpp"
+#include "trace/source.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace syncpat {
+namespace {
+
+constexpr std::uint64_t kScale = 64;
+
+workload::BenchmarkProfile profile_by_name(const std::string& name) {
+  for (const auto& p : workload::paper_profiles()) {
+    if (p.name == name) return p;
+  }
+  ADD_FAILURE() << "unknown profile " << name;
+  return {};
+}
+
+void render_stat(std::ostream& out, const char* label,
+                 const util::RunningStat& s) {
+  out << label << ": n=" << s.count() << " sum=" << s.sum()
+      << " mean=" << s.mean() << " var=" << s.variance() << " min=" << s.min()
+      << " max=" << s.max() << "\n";
+}
+
+/// Exhaustive textual dump of a SimulationResult.  Doubles are printed as
+/// hexfloat so equality means bit-for-bit identical accumulation order.
+std::string render(const core::SimulationResult& r) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << r.program << "/" << r.scheme << "/" << r.consistency
+      << " procs=" << r.num_procs << "\n";
+  out << "run_time=" << r.run_time << " avg_util=" << r.avg_utilization
+      << " stall_cache_pct=" << r.stall_cache_pct
+      << " stall_lock_pct=" << r.stall_lock_pct << "\n";
+  out << "locks: acq=" << r.locks.acquisitions
+      << " transfers=" << r.locks.transfers << "\n";
+  render_stat(out, "hold", r.locks.hold_cycles);
+  render_stat(out, "hold_xfer", r.locks.hold_cycles_transfer);
+  render_stat(out, "waiters", r.locks.waiters_at_transfer);
+  render_stat(out, "xfer_cycles", r.locks.transfer_cycles);
+  out << "xfer_hist: n=" << r.locks.transfer_hist.count();
+  for (std::size_t i = 0; i < util::Histogram::kBuckets; ++i) {
+    out << " " << r.locks.transfer_hist.bucket_count(i);
+  }
+  out << "\n";
+  out << "bus_util=" << r.bus_utilization << " traffic=" << r.traffic.reads
+      << "," << r.traffic.readx << "," << r.traffic.upgrades << ","
+      << r.traffic.writebacks << "," << r.traffic.handoffs << ","
+      << r.traffic.write_throughs << "," << r.traffic.c2c_supplies << ","
+      << r.traffic.memory_reads << "," << r.traffic.lock_ops << "\n";
+  out << "hit_ratios=" << r.write_hit_ratio << "," << r.read_hit_ratio
+      << " syncs=" << r.syncs << "," << r.syncs_with_pending << ","
+      << r.read_bypasses << "\n";
+  out << "barriers=" << r.barriers_completed << "\n";
+  render_stat(out, "barrier_wait", r.barrier_wait_cycles);
+  render_stat(out, "barrier_waiters", r.barrier_waiters_at_arrival);
+  for (const core::ProcResult& p : r.per_proc) {
+    out << "proc: work=" << p.work_cycles << " sc=" << p.stall_cache
+        << " sl=" << p.stall_lock << " sf=" << p.stall_fence
+        << " done=" << p.completion_cycle << " util=" << p.utilization << "\n";
+  }
+  return out.str();
+}
+
+struct RunOutput {
+  std::string rendered;
+  core::FastForwardStats ff;
+};
+
+RunOutput run_once(const workload::BenchmarkProfile& scaled,
+                   core::MachineConfig cfg, bool fast_forward) {
+  cfg.num_procs = scaled.num_procs;
+  cfg.fast_forward = fast_forward;
+  trace::ProgramTrace program = workload::make_program_trace(scaled);
+  core::Simulator sim(cfg, program);
+  RunOutput out;
+  out.rendered = render(sim.run());
+  out.ff = sim.fast_forward_stats();
+  return out;
+}
+
+class FastForwardDifferential : public ::testing::Test {
+ protected:
+  // cfg.fast_forward must control the mode: a SYNCPAT_FAST_FORWARD value
+  // inherited from the calling environment would override it for every run.
+  void SetUp() override { unsetenv("SYNCPAT_FAST_FORWARD"); }
+};
+
+TEST_F(FastForwardDifferential, ByteIdenticalAcrossSchemesModelsAndPolicies) {
+  const workload::BenchmarkProfile scaled =
+      profile_by_name("Grav").scaled(kScale);
+  std::uint64_t total_jumps = 0;
+  for (const sync::SchemeKind scheme : sync::all_scheme_kinds()) {
+    for (const bus::ConsistencyModel model :
+         {bus::ConsistencyModel::kSequential, bus::ConsistencyModel::kWeak}) {
+      for (const cache::WritePolicy policy :
+           {cache::WritePolicy::kWriteBack, cache::WritePolicy::kWriteThrough}) {
+        core::MachineConfig cfg;
+        cfg.lock_scheme = scheme;
+        cfg.consistency = model;
+        cfg.write_policy = policy;
+        const RunOutput on = run_once(scaled, cfg, true);
+        const RunOutput off = run_once(scaled, cfg, false);
+        EXPECT_TRUE(on.ff.enabled);
+        EXPECT_FALSE(off.ff.enabled);
+        EXPECT_EQ(on.rendered, off.rendered)
+            << "fast-forward diverged: scheme=" << sync::scheme_kind_name(scheme)
+            << " model=" << bus::consistency_name(model)
+            << " policy=" << cache::write_policy_name(policy);
+        total_jumps += on.ff.jumps;
+      }
+    }
+  }
+  // The engine must actually engage somewhere, or this test proves nothing.
+  EXPECT_GT(total_jumps, 0u);
+}
+
+TEST_F(FastForwardDifferential, EngagesOnQuiescentHeavyProfile) {
+  const workload::BenchmarkProfile scaled =
+      profile_by_name("Grav").scaled(kScale);
+  core::MachineConfig cfg;
+  cfg.lock_scheme = sync::SchemeKind::kTtas;
+  const RunOutput on = run_once(scaled, cfg, true);
+  EXPECT_TRUE(on.ff.enabled);
+  EXPECT_GT(on.ff.jumps, 0u);
+  EXPECT_GT(on.ff.skipped_cycles + on.ff.run_ahead_cycles, 0u);
+}
+
+TEST_F(FastForwardDifferential, InvariantCheckerForcesPerCycle) {
+  const workload::BenchmarkProfile scaled =
+      profile_by_name("Pverify").scaled(kScale * 4);
+  core::MachineConfig cfg;
+  cfg.lock_scheme = sync::SchemeKind::kTtas;
+  cfg.invariants.enabled = true;
+  const RunOutput checked = run_once(scaled, cfg, true);
+  EXPECT_FALSE(checked.ff.enabled);
+  EXPECT_EQ(checked.ff.jumps, 0u);
+}
+
+TEST_F(FastForwardDifferential, EnvVarEscapeHatch) {
+  const workload::BenchmarkProfile scaled =
+      profile_by_name("Pverify").scaled(kScale * 4);
+  core::MachineConfig cfg;
+  cfg.lock_scheme = sync::SchemeKind::kTtas;
+
+  setenv("SYNCPAT_FAST_FORWARD", "0", 1);
+  const RunOutput forced_off = run_once(scaled, cfg, true);
+  EXPECT_FALSE(forced_off.ff.enabled);
+
+  setenv("SYNCPAT_FAST_FORWARD", "1", 1);
+  const RunOutput forced_on = run_once(scaled, cfg, false);
+  EXPECT_TRUE(forced_on.ff.enabled);
+
+  unsetenv("SYNCPAT_FAST_FORWARD");
+  EXPECT_EQ(forced_off.rendered, forced_on.rendered);
+}
+
+}  // namespace
+}  // namespace syncpat
