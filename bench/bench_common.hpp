@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -24,6 +25,8 @@
 #include "core/experiment_engine.hpp"
 #include "core/machine_config.hpp"
 #include "core/results.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace_event.hpp"
 #include "trace/analyzer.hpp"
 #include "workload/profiles.hpp"
 
@@ -33,12 +36,22 @@ inline constexpr std::uint64_t kDefaultScale = 8;
 
 struct BenchOptions {
   std::uint32_t jobs = 0;  // 0 = all cores
+  std::string trace_out;   // empty = tracing off
+  std::uint32_t trace_categories = obs::category::kAll;
 };
 
 [[noreturn]] inline void usage_and_exit(const char* prog) {
-  std::cerr << "usage: " << prog << " [--jobs N | -j N]\n"
-            << "  --jobs N   worker threads for the experiment grid "
-               "(0 = all cores; also SYNCPAT_JOBS)\n";
+  std::cerr << "usage: " << prog
+            << " [--jobs N | -j N] [--trace-out FILE] [--trace-events LIST]\n"
+            << "  --jobs N          worker threads for the experiment grid "
+               "(0 = all cores; also SYNCPAT_JOBS)\n"
+            << "  --trace-out FILE  write Chrome trace-event JSON (one file "
+               "per grid cell,\n"
+               "                    cell label spliced into FILE's name); "
+               "load at ui.perfetto.dev\n"
+            << "  --trace-events L  comma list of categories to record: "
+               "locks,bus,coherence,\n"
+               "                    barriers,idle,all (default all)\n";
   std::exit(2);
 }
 
@@ -55,6 +68,32 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
+    if (arg == "--trace-out" || arg.rfind("--trace-out=", 0) == 0) {
+      if (arg == "--trace-out") {
+        if (i + 1 >= argc) usage_and_exit(argv[0]);
+        opts.trace_out = argv[++i];
+      } else {
+        opts.trace_out = arg.substr(std::strlen("--trace-out="));
+      }
+      if (opts.trace_out.empty()) usage_and_exit(argv[0]);
+      continue;
+    }
+    if (arg == "--trace-events" || arg.rfind("--trace-events=", 0) == 0) {
+      std::string list;
+      if (arg == "--trace-events") {
+        if (i + 1 >= argc) usage_and_exit(argv[0]);
+        list = argv[++i];
+      } else {
+        list = arg.substr(std::strlen("--trace-events="));
+      }
+      try {
+        opts.trace_categories = obs::parse_categories(list);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        std::exit(2);
+      }
+      continue;
+    }
     if (arg == "--jobs" || arg == "-j") {
       if (i + 1 >= argc) usage_and_exit(argv[0]);
       value = argv[++i];
@@ -75,6 +114,14 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+/// Copies the --trace-out/--trace-events decision onto a machine config.
+inline void apply_trace_options(const BenchOptions& opts,
+                                core::MachineConfig& config) {
+  if (opts.trace_out.empty()) return;
+  config.trace.enabled = true;
+  config.trace.categories = opts.trace_categories;
 }
 
 /// scale_from_env with bench-friendly error reporting (exit 2, not a throw).
@@ -141,6 +188,10 @@ struct SuiteRun {
   std::vector<core::SimulationResult> results;
   double wall_ms = 0.0;
   std::uint32_t jobs_used = 0;
+  // Populated only when the grid ran with tracing enabled, in cell order.
+  std::vector<std::string> labels;
+  std::vector<std::string> trace_json;
+  std::vector<obs::LockTimeline> timelines;
 };
 
 /// Runs all six paper benchmarks under `config` on the parallel engine.
@@ -150,13 +201,35 @@ inline SuiteRun run_suite(core::MachineConfig config, bool skip_lockless,
   run.scale = scale_or_die(kDefaultScale);
   const core::GridResult grid =
       run_grid_or_die(suite_grid(config, skip_lockless, run.scale), jobs);
-  for (const core::CellResult& cell : grid.results) {
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const core::CellResult& cell = grid.results[i];
     run.ideal.push_back(cell.outcome.ideal);
     run.results.push_back(cell.outcome.sim);
+    if (config.trace.enabled) {
+      run.labels.push_back(grid.cells[i].label());
+      run.trace_json.push_back(cell.outcome.trace_json);
+      run.timelines.push_back(cell.outcome.lock_timeline);
+    }
   }
   run.wall_ms = grid.wall_ms;
   run.jobs_used = grid.jobs_used;
   return run;
+}
+
+/// Writes one Chrome trace file per traced cell, the cell label spliced into
+/// `base` before its extension.  No-op (returns true) when tracing was off.
+inline bool write_trace_files(const SuiteRun& run, const std::string& base) {
+  for (std::size_t i = 0; i < run.trace_json.size(); ++i) {
+    const std::string path = obs::trace_out_path(base, run.labels[i]);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return false;
+    }
+    out << run.trace_json[i];
+    std::cout << "wrote " << path << "\n";
+  }
+  return true;
 }
 
 /// Slices a multi-scheme grid (e.g. Table 5's ttas-vs-queuing comparison run

@@ -2,6 +2,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "report/lock_timeline.hpp"
 #include "report/paper_tables.hpp"
 #include "report/per_lock.hpp"
 #include "core/simulator.hpp"
@@ -12,12 +13,14 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   core::MachineConfig config;
   config.lock_scheme = sync::SchemeKind::kQueuing;
+  bench::apply_trace_options(opts, config);
   const bench::SuiteRun run =
       bench::run_suite(config, /*skip_lockless=*/true, opts.jobs);
   bench::print_engine_banner(run.scale, run.wall_ms, run.jobs_used);
   report::table_contention(4, run.results, run.scale).print(std::cout);
   bench::print_transfer_latencies(run.results);
   std::cout << "(paper: queuing-lock transfers take ~1.2-1.5 cycles)\n\n";
+  if (!bench::write_trace_files(run, opts.trace_out)) return 1;
 
   // The paper attributes Grav/Pdsa contention to the dominant Presto
   // scheduler lock (§2.3); show the per-lock breakdown for Grav.  This needs
@@ -28,11 +31,31 @@ int main(int argc, char** argv) {
     trace::ProgramTrace program = workload::make_program_trace(grav);
     core::MachineConfig grav_config;
     grav_config.num_procs = grav.num_procs;
+    bench::apply_trace_options(opts, grav_config);
     core::Simulator sim(grav_config, program);
-    sim.run();
+    obs::ChromeTraceSink chrome("Grav-breakdown", grav.num_procs);
+    obs::LockTimelineSink timeline;
+    if (obs::EventRecorder* rec = sim.recorder()) {
+      rec->add_sink(&chrome);
+      rec->add_sink(&timeline);
+    }
+    const core::SimulationResult res = sim.run();
     std::cout << "Grav breakdown (lock 0 is the scheduler lock, lock 1 the "
                  "nested thread-queue lock):\n";
     report::per_lock_table(sim.lock_stats(), 6).print(std::cout);
+    if (sim.recorder() != nullptr) {
+      const std::string path =
+          obs::trace_out_path(opts.trace_out, "Grav-breakdown");
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return 1;
+      }
+      out << chrome.finish();
+      std::cout << "wrote " << path << "\n\n";
+      std::cout << "Grav lock hand-off timeline (§2.3 attribution):\n";
+      report::lock_timeline_table(timeline.take(res.run_time)).print(std::cout);
+    }
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "report/lock_timeline.hpp"
 #include "report/paper_tables.hpp"
 
 int main(int argc, char** argv) {
@@ -9,6 +10,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   core::MachineConfig config;
   config.lock_scheme = sync::SchemeKind::kTtas;
+  bench::apply_trace_options(opts, config);
   const bench::SuiteRun run =
       bench::run_suite(config, /*skip_lockless=*/true, opts.jobs);
   bench::print_engine_banner(run.scale, run.wall_ms, run.jobs_used);
@@ -16,5 +18,12 @@ int main(int argc, char** argv) {
   bench::print_transfer_latencies(run.results);
   std::cout << "(paper: with many waiters a T&T&S transfer takes ~21-25 "
                "cycles)\n";
+  if (!bench::write_trace_files(run, opts.trace_out)) return 1;
+  for (std::size_t i = 0; i < run.timelines.size(); ++i) {
+    if (run.labels[i].rfind("Grav", 0) != 0) continue;
+    std::cout << "\n" << run.labels[i]
+              << " lock hand-off timeline (§2.3 attribution):\n";
+    report::lock_timeline_table(run.timelines[i]).print(std::cout);
+  }
   return 0;
 }

@@ -56,10 +56,15 @@ double now_ms() {
 }
 
 std::uint32_t reps_from_env() {
-  const char* env = std::getenv("SYNCPAT_BENCH_REPS");
-  if (env == nullptr) return 3;
-  const long v = std::strtol(env, nullptr, 10);
-  return v > 0 ? static_cast<std::uint32_t>(v) : 3;
+  // Strict like SYNCPAT_SCALE / SYNCPAT_JOBS: a malformed value is an error,
+  // not a silent fall-through to the default.
+  try {
+    return static_cast<std::uint32_t>(
+        core::positive_u64_from_env("SYNCPAT_BENCH_REPS", 3));
+  } catch (const std::invalid_argument& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    std::exit(2);
+  }
 }
 
 Cell run_cell(const workload::BenchmarkProfile& scaled,

@@ -24,10 +24,18 @@
 //                           parallel engine and print a comparison table
 //                           (profiles only)
 //     --per-lock            print the per-lock contention breakdown
+//     --trace-out FILE      record a cycle-stamped event trace and write it
+//                           as Chrome trace-event JSON (open at
+//                           ui.perfetto.dev); with --sweep, one file per
+//                           cell with the cell label spliced into FILE
+//     --trace-events LIST   comma list of event categories to record:
+//                           locks,bus,coherence,barriers,idle,all
+//                           (default all; implies tracing on)
 //     --csv                 emit results as CSV instead of a table
 //     --validate            validate the trace and exit
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -35,6 +43,8 @@
 #include "core/invariant_checker.hpp"
 #include "core/machine_config.hpp"
 #include "core/simulator.hpp"
+#include "obs/chrome_trace.hpp"
+#include "report/lock_timeline.hpp"
 #include "report/per_lock.hpp"
 #include "report/table.hpp"
 #include "trace/analyzer.hpp"
@@ -53,8 +63,10 @@ using namespace syncpat;
             << " [--program P] [--scheme S] [--consistency C]\n"
                "  [--write-policy W] [--scale N] [--procs N] [--buffer N]\n"
                "  [--mem-cycles N] [--jobs N] [--check-invariants]\n"
-               "  [--no-fast-forward] [--sweep] [--per-lock] [--csv] "
-               "[--validate]\n";
+               "  [--no-fast-forward] [--sweep] [--per-lock]\n"
+               "  [--trace-out FILE] [--trace-events locks,bus,coherence,"
+               "barriers,idle,all]\n"
+               "  [--csv] [--validate]\n";
   std::exit(2);
 }
 
@@ -74,6 +86,9 @@ struct Options {
   bool per_lock = false;
   bool csv = false;
   bool validate = false;
+  std::string trace_out;  // empty = tracing off (unless --trace-events given)
+  std::uint32_t trace_categories = obs::category::kAll;
+  bool trace_events_given = false;
 };
 
 Options parse(int argc, char** argv) {
@@ -102,6 +117,16 @@ Options parse(int argc, char** argv) {
     else if (arg == "--jobs" || arg == "-j") opt.jobs = static_cast<std::uint32_t>(std::atoi(value().c_str()));
     else if (arg == "--check-invariants") opt.check_invariants = true;
     else if (arg == "--no-fast-forward") opt.fast_forward = false;
+    else if (arg == "--trace-out") opt.trace_out = value();
+    else if (arg == "--trace-events") {
+      try {
+        opt.trace_categories = obs::parse_categories(value());
+        opt.trace_events_given = true;
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        std::exit(2);
+      }
+    }
     else if (arg == "--sweep") opt.sweep = true;
     else if (arg == "--per-lock") opt.per_lock = true;
     else if (arg == "--csv") opt.csv = true;
@@ -181,6 +206,17 @@ int run_sweep(const Options& opt, const core::MachineConfig& base) {
                         : cell.outcome.invariants.samples[0])
                 << ")\n";
     }
+    if (!opt.trace_out.empty() && grid.base.trace.enabled) {
+      const std::string path =
+          obs::trace_out_path(opt.trace_out, result.cells[i].label());
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return 1;
+      }
+      out << cell.outcome.trace_json;
+      std::cout << "wrote " << path << "\n";
+    }
   }
   if (opt.csv) {
     std::cout << t.to_csv();
@@ -225,6 +261,10 @@ int main(int argc, char** argv) {
   config.memory.access_cycles = opt.mem_cycles;
   config.invariants.enabled = opt.check_invariants;
   config.fast_forward = opt.fast_forward;
+  // --trace-events without --trace-out still records (the in-memory lock
+  // timeline is useful on its own); --trace-out implies recording.
+  config.trace.enabled = !opt.trace_out.empty() || opt.trace_events_given;
+  config.trace.categories = opt.trace_categories;
 
   if (opt.sweep) return run_sweep(opt, config);
 
@@ -247,6 +287,12 @@ int main(int argc, char** argv) {
 
   const trace::IdealProgramStats ideal = trace::analyze_program(program);
   core::Simulator sim(config, program);
+  obs::ChromeTraceSink chrome(opt.program, config.num_procs);
+  obs::LockTimelineSink timeline;
+  if (obs::EventRecorder* rec = sim.recorder()) {
+    rec->add_sink(&chrome);
+    rec->add_sink(&timeline);
+  }
   const core::SimulationResult r = sim.run();
 
   report::Table t("syncpat: " + r.program + " on " + r.scheme + "/" +
@@ -282,6 +328,21 @@ int main(int argc, char** argv) {
   }
   if (opt.per_lock) {
     report::per_lock_table(sim.lock_stats()).print(std::cout);
+  }
+  if (sim.recorder() != nullptr) {
+    if (!opt.trace_out.empty()) {
+      std::ofstream out(opt.trace_out, std::ios::binary);
+      if (!out) {
+        std::cerr << "error: cannot write " << opt.trace_out << "\n";
+        return 1;
+      }
+      out << chrome.finish();
+      std::cout << "wrote " << opt.trace_out
+                << " (open at ui.perfetto.dev)\n";
+    }
+    if ((config.trace.categories & obs::category::kLocks) != 0) {
+      report::lock_timeline_table(timeline.take(r.run_time)).print(std::cout);
+    }
   }
   if (const core::InvariantChecker* checker = sim.invariant_checker()) {
     std::cout << "invariants: " << util::with_commas(checker->checks())

@@ -58,6 +58,9 @@ struct Transaction {
   std::uint64_t issued_cycle = 0;
   std::uint64_t granted_cycle = 0;
   std::uint64_t completed_cycle = 0;
+  // Cycle make_txn() ran; never re-stamped (issued_cycle is, on the memory
+  // response path), so the tracing layer can report whole-transaction spans.
+  std::uint64_t created_cycle = 0;
 
   [[nodiscard]] bool needs_memory() const {
     switch (kind) {

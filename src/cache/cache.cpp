@@ -45,7 +45,7 @@ const Cache::Line* Cache::find(std::uint32_t addr) const {
 }
 
 AccessResult Cache::access(std::uint32_t addr, AccessClass cls) {
-  return access_line(find(addr), cls);
+  return access_line(find(addr), addr, cls);
 }
 
 AccessResult Cache::access_or_pending(std::uint32_t addr, AccessClass cls) {
@@ -55,10 +55,11 @@ AccessResult Cache::access_or_pending(std::uint32_t addr, AccessClass cls) {
     result.pending = true;
     return result;
   }
-  return access_line(line, cls);
+  return access_line(line, addr, cls);
 }
 
-AccessResult Cache::access_line(Line* line, AccessClass cls) {
+AccessResult Cache::access_line(Line* line, std::uint32_t addr,
+                                AccessClass cls) {
   const bool present =
       line != nullptr && line->state != LineState::kPending;
   AccessResult result;
@@ -71,6 +72,8 @@ AccessResult Cache::access_line(Line* line, AccessClass cls) {
           break;
         case LineState::kExclusive:
           line->state = LineState::kModified;  // silent upgrade (Illinois)
+          notify_transition(config_.line_addr(addr), LineState::kExclusive,
+                            LineState::kModified);
           break;
         case LineState::kShared:
           result.needs_upgrade = true;  // invalidation required first
@@ -117,11 +120,14 @@ Cache::AllocateResult Cache::allocate(std::uint32_t line_addr) {
   AllocateResult result;
   if (victim == nullptr) return result;  // every way pending: caller retries
 
-  if (victim->state == LineState::kModified) {
-    ++stats_.writebacks;
+  if (victim->state != LineState::kInvalid) {
     const std::uint32_t victim_addr =
         (victim->tag * config_.num_sets() + set) * config_.line_bytes;
-    result.writeback_line = victim_addr;
+    if (victim->state == LineState::kModified) {
+      ++stats_.writebacks;
+      result.writeback_line = victim_addr;
+    }
+    notify_transition(victim_addr, victim->state, LineState::kInvalid);
   }
   victim->tag = tag_of(line_addr);
   victim->state = LineState::kPending;
@@ -140,6 +146,7 @@ void Cache::fill(std::uint32_t line_addr, LineState state) {
       SYNCPAT_ASSERT(state != LineState::kInvalid && state != LineState::kPending);
       line.state = state;
       line.lru = ++lru_clock_;
+      notify_transition(line_addr, LineState::kPending, state);
       return;
     }
   }
@@ -167,6 +174,7 @@ bool Cache::complete_upgrade(std::uint32_t line_addr) {
                      "upgrade completion on a non-Shared line");
   line->state = LineState::kModified;
   line->lru = ++lru_clock_;
+  notify_transition(line_addr, LineState::kShared, LineState::kModified);
   return true;
 }
 
@@ -190,8 +198,10 @@ void Cache::force_modified(std::uint32_t line_addr) {
   Line* line = find(line_addr);
   SYNCPAT_ASSERT_MSG(line != nullptr && line->state != LineState::kPending,
                      "force_modified on an absent line");
+  const LineState old = line->state;
   line->state = LineState::kModified;
   line->lru = ++lru_clock_;
+  notify_transition(line_addr, old, LineState::kModified);
 }
 
 SnoopResult Cache::snoop(std::uint32_t line_addr, bool exclusive_request) {
@@ -200,6 +210,7 @@ SnoopResult Cache::snoop(std::uint32_t line_addr, bool exclusive_request) {
   if (line == nullptr || line->state == LineState::kPending) return result;
   result.had_line = true;
   result.was_dirty = line->state == LineState::kModified;
+  const LineState old = line->state;
   if (exclusive_request) {
     line->state = LineState::kInvalid;
     result.invalidated = true;
@@ -211,6 +222,7 @@ SnoopResult Cache::snoop(std::uint32_t line_addr, bool exclusive_request) {
     line->state = LineState::kShared;
     ++stats_.supplies;
   }
+  notify_transition(line_addr, old, line->state);
   return result;
 }
 

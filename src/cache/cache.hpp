@@ -152,6 +152,18 @@ class Cache {
   /// Current state of a line (kInvalid if absent).
   [[nodiscard]] LineState state(std::uint32_t addr) const;
 
+  /// Coherence-transition hook for the tracing layer: called as
+  /// hook(ctx, line_addr, from, to) on every observable state change (silent
+  /// E->M upgrades, fills, upgrades, snoops, evictions).  Pending-state
+  /// bookkeeping transitions are not reported.  Null (the default) costs one
+  /// branch per transition.
+  using TransitionHook = void (*)(void* ctx, std::uint32_t line_addr,
+                                  LineState from, LineState to);
+  void set_transition_hook(TransitionHook hook, void* ctx) {
+    hook_ = hook;
+    hook_ctx_ = ctx;
+  }
+
   /// Visits every resident (non-Invalid) line as fn(line_addr, state).
   /// Used by the invariant checker's cross-cache MESI sweeps.
   template <typename Fn>
@@ -187,7 +199,11 @@ class Cache {
   }
   [[nodiscard]] Line* find(std::uint32_t addr);
   [[nodiscard]] const Line* find(std::uint32_t addr) const;
-  AccessResult access_line(Line* line, AccessClass cls);
+  AccessResult access_line(Line* line, std::uint32_t addr, AccessClass cls);
+  void notify_transition(std::uint32_t line_addr, LineState from,
+                         LineState to) {
+    if (hook_ != nullptr && from != to) hook_(hook_ctx_, line_addr, from, to);
+  }
 
   CacheConfig config_;
   std::uint32_t line_shift_ = 0;
@@ -196,6 +212,8 @@ class Cache {
   std::vector<Line> lines_;  // num_sets * associativity, set-major
   std::uint64_t lru_clock_ = 0;
   CacheStats stats_;
+  TransitionHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
 };
 
 }  // namespace syncpat::cache

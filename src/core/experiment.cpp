@@ -7,6 +7,7 @@
 
 #include "core/invariant_checker.hpp"
 #include "core/simulator.hpp"
+#include "obs/chrome_trace.hpp"
 #include "workload/generator.hpp"
 
 namespace syncpat::core {
@@ -23,7 +24,19 @@ ExperimentOutcome run_experiment(const MachineConfig& config,
   MachineConfig cfg = config;
   cfg.num_procs = scaled.num_procs;
   Simulator sim(cfg, program);
+  // Per-cell sinks: each cell builds its own trace document during its own
+  // run, so the grid engine's job count can never reorder trace output.
+  obs::ChromeTraceSink chrome(scaled.name, scaled.num_procs);
+  obs::LockTimelineSink timeline;
+  if (obs::EventRecorder* rec = sim.recorder()) {
+    rec->add_sink(&chrome);
+    rec->add_sink(&timeline);
+  }
   outcome.sim = sim.run();
+  if (sim.recorder() != nullptr) {
+    outcome.trace_json = chrome.finish();
+    outcome.lock_timeline = timeline.take(outcome.sim.run_time);
+  }
   if (const InvariantChecker* checker = sim.invariant_checker()) {
     outcome.invariants.enabled = true;
     outcome.invariants.checks = checker->checks();
@@ -40,24 +53,54 @@ trace::IdealProgramStats run_ideal(const workload::BenchmarkProfile& profile,
   return trace::analyze_program(program);
 }
 
-std::uint64_t scale_from_env(std::uint64_t fallback) {
-  const char* env = std::getenv("SYNCPAT_SCALE");
-  if (env == nullptr) return fallback;
+namespace {
+
+// Shared strict parse: returns true and fills `out` only for a clean,
+// in-range decimal with no sign, no leading whitespace (strtoull would
+// silently skip it), and no trailing junk.
+bool parse_strict_u64(const char* env, std::uint64_t& out) {
   const std::string text(env);
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
   errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(env, &end, 10);
-  if (text.empty() || end == env || *end != '\0' || errno == ERANGE ||
+  if (end == env || *end != '\0' || errno == ERANGE ||
       text.find('-') != std::string::npos) {
+    return false;
+  }
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t scale_from_env(std::uint64_t fallback) {
+  const char* env = std::getenv("SYNCPAT_SCALE");
+  if (env == nullptr) return fallback;
+  std::uint64_t value = 0;
+  if (!parse_strict_u64(env, value)) {
     throw std::invalid_argument(
-        "SYNCPAT_SCALE must be a positive integer, got \"" + text + "\"");
+        "SYNCPAT_SCALE must be a positive integer, got \"" + std::string(env) +
+        "\"");
   }
   if (value == 0) {
     throw std::invalid_argument(
         "SYNCPAT_SCALE must be >= 1 (0 would produce an empty trace); unset "
         "it to use the default scale");
   }
-  return static_cast<std::uint64_t>(value);
+  return value;
+}
+
+std::uint64_t positive_u64_from_env(const char* var, std::uint64_t fallback) {
+  const char* env = std::getenv(var);
+  if (env == nullptr) return fallback;
+  std::uint64_t value = 0;
+  if (!parse_strict_u64(env, value) || value == 0) {
+    throw std::invalid_argument(std::string(var) +
+                                " must be a positive integer, got \"" +
+                                std::string(env) + "\"");
+  }
+  return value;
 }
 
 }  // namespace syncpat::core

@@ -10,6 +10,7 @@
 
 #include "core/machine_config.hpp"
 #include "core/results.hpp"
+#include "obs/lock_timeline.hpp"
 #include "trace/analyzer.hpp"
 #include "workload/profile.hpp"
 
@@ -27,6 +28,12 @@ struct ExperimentOutcome {
   trace::IdealProgramStats ideal;
   SimulationResult sim;
   InvariantReport invariants;
+  /// Filled only when config.trace.enabled: the complete Chrome trace-event
+  /// JSON document and the per-lock hand-off timeline for this cell.  Built
+  /// inside the cell's run, so grid results are byte-identical whatever the
+  /// engine's job count.
+  std::string trace_json;
+  obs::LockTimeline lock_timeline;
 };
 
 /// Runs `profile` (optionally length-scaled by `scale`) on the machine.
@@ -44,5 +51,12 @@ struct ExperimentOutcome {
 /// std::invalid_argument when the variable is set but empty, non-numeric,
 /// zero, negative, or has trailing junk.
 [[nodiscard]] std::uint64_t scale_from_env(std::uint64_t fallback);
+
+/// Strict positive-integer environment knob (the SYNCPAT_SCALE policy,
+/// reusable: SYNCPAT_BENCH_REPS uses it).  Returns `fallback` when `var` is
+/// unset; throws std::invalid_argument when it is set but empty, non-numeric,
+/// zero, negative, or has trailing junk — never silently defaults.
+[[nodiscard]] std::uint64_t positive_u64_from_env(const char* var,
+                                                  std::uint64_t fallback);
 
 }  // namespace syncpat::core

@@ -13,6 +13,7 @@
 #include "bus/interface.hpp"
 #include "cache/cache.hpp"
 #include "mem/memory.hpp"
+#include "obs/trace_event.hpp"
 #include "sync/scheme_factory.hpp"
 
 namespace syncpat::core {
@@ -42,6 +43,10 @@ struct MachineConfig {
   bus::ConsistencyModel consistency = bus::ConsistencyModel::kSequential;
   sync::SchemeKind lock_scheme = sync::SchemeKind::kQueuing;
   InvariantConfig invariants;
+  /// Opt-in event tracing (see src/obs/): same zero-cost-when-off pattern as
+  /// the invariant checker — the simulator holds a null recorder unless this
+  /// is enabled, and traced runs produce byte-identical results.
+  obs::TraceConfig trace;
 
   /// Quiescence-aware fast-forward (on by default): when no transaction
   /// exists anywhere in the machine, Simulator::run() jumps the cycle counter

@@ -61,6 +61,21 @@ Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
     checker_ = std::make_unique<InvariantChecker>(
         cfg_.invariants, is_fifo_scheme(cfg_.lock_scheme), nprocs);
   }
+  if (cfg_.trace.enabled) {
+    recorder_ = std::make_unique<obs::EventRecorder>(cfg_.trace);
+    if (recorder_->wants(obs::category::kLocks)) {
+      lock_stats_.set_recorder(recorder_.get());
+    }
+    if (recorder_->wants(obs::category::kBus)) bus_.set_observer(this);
+    if (recorder_->wants(obs::category::kCoherence)) {
+      cache_hook_ctx_.resize(nprocs);
+      for (std::uint32_t p = 0; p < nprocs; ++p) {
+        cache_hook_ctx_[p] = CacheHookCtx{this, p};
+        caches_[p]->set_transition_hook(&Simulator::cache_transition_hook,
+                                        &cache_hook_ctx_[p]);
+      }
+    }
+  }
   ff_enabled_ = fast_forward_from_env(cfg_.fast_forward) && checker_ == nullptr;
   ff_stats_.enabled = ff_enabled_;
   ff_next_issue_.resize(nprocs);
@@ -94,6 +109,7 @@ SimulationResult Simulator::run() {
     }
   }
   if (checker_) checker_->on_run_end(*this);
+  if (recorder_) recorder_->flush();
   return collect_results();
 }
 
@@ -251,6 +267,12 @@ void Simulator::fast_forward() {
     ++ff_stats_.jumps;
     ff_stats_.run_ahead_cycles += executed;
     ff_stats_.skipped_cycles += (cycle_ - entry_cycle) - executed;
+    if (tracing(obs::category::kIdle)) {
+      // One bulk span for the whole quiescent stretch, in place of the
+      // per-cycle events that were never generated.
+      recorder_->emit(obs::TraceEvent{entry_cycle, obs::EventKind::kIdleSpan,
+                                      -1, 0, cycle_ - entry_cycle, executed});
+    }
     // Fast-forward boundary: re-arm the watchdog scan so a stretch spanning
     // several check periods still records the bulk-accounted progress.
     check_progress();
@@ -371,6 +393,7 @@ Transaction* Simulator::make_txn(TxnKind kind, std::uint32_t line_addr,
   txn->fills_line = fills_line;
   txn->is_lock_op = lock_op;
   txn->issued_cycle = cycle_;
+  txn->created_cycle = cycle_;
   active_.emplace(txn->id, std::move(owned));
 
   const bool counts_for_fence = !txn->is_lock_op && kind != TxnKind::kWriteBack &&
@@ -533,6 +556,11 @@ void Simulator::snoop_others(Transaction* txn) {
 void Simulator::notify_invalidation(std::uint32_t proc, std::uint32_t line_addr) {
   if (spin_line_[proc] == line_addr && line_addr != 0) {
     spin_line_[proc] = 0;
+    if (tracing(obs::category::kLocks)) {
+      recorder_->emit(obs::TraceEvent{cycle_, obs::EventKind::kSpinInvalidated,
+                                      static_cast<std::int32_t>(proc),
+                                      line_addr, 0, 0});
+    }
     scheme_->on_spin_invalidated(proc, line_addr);
   }
 }
@@ -652,6 +680,11 @@ void Simulator::finalize(Transaction* txn) {
     SYNCPAT_ASSERT(count > 0);
     --count;
   }
+  if (txn->requester >= 0 && tracing(obs::category::kBus)) {
+    recorder_->emit(obs::TraceEvent{
+        cycle_, obs::EventKind::kBusComplete, txn->requester, txn->line_addr,
+        cycle_ - txn->created_cycle, static_cast<std::uint64_t>(txn->kind)});
+  }
   if (txn->requester_waiting) {
     SYNCPAT_ASSERT(txn->requester >= 0);
     procs_[static_cast<std::uint32_t>(txn->requester)]->on_txn_complete(txn);
@@ -681,6 +714,11 @@ void Simulator::lock_step_complete(std::uint32_t proc, std::uint32_t line_addr,
   }
   BarrierState& b = barriers_[line_addr];
   barrier_waiters_at_arrival_.add(static_cast<double>(b.waiting.size()));
+  if (tracing(obs::category::kBarriers)) {
+    recorder_->emit(obs::TraceEvent{cycle_, obs::EventKind::kBarrierArrive,
+                                    static_cast<std::int32_t>(proc), line_addr,
+                                    b.waiting.size(), 0});
+  }
   if (b.waiting.size() + 1 == procs_.size()) {
     // Last arrival: release everyone.
     ++barriers_completed_;
@@ -691,6 +729,11 @@ void Simulator::lock_step_complete(std::uint32_t proc, std::uint32_t line_addr,
     barrier_wait_.add(0.0);  // the last arriver does not wait
     b.waiting.clear();
     procs_[proc]->lock_acquired();
+    if (tracing(obs::category::kBarriers)) {
+      recorder_->emit(obs::TraceEvent{cycle_, obs::EventKind::kBarrierRelease,
+                                      static_cast<std::int32_t>(proc),
+                                      line_addr, procs_.size(), 0});
+    }
   } else {
     b.waiting.push_back(BarrierState::Arrival{proc, cycle_});
     procs_[proc]->enter_lock_wait(/*spinning=*/false);
@@ -754,12 +797,44 @@ void Simulator::proc_release_done(std::uint32_t proc) {
 
 void Simulator::begin_lock_acquire(std::uint32_t proc, std::uint32_t lock_line) {
   if (checker_) checker_->on_begin_acquire(proc, lock_line);
+  if (tracing(obs::category::kLocks)) {
+    recorder_->emit(obs::TraceEvent{cycle_, obs::EventKind::kAcquireBegin,
+                                    static_cast<std::int32_t>(proc), lock_line,
+                                    0, 0});
+  }
   scheme_->begin_acquire(proc, lock_line);
 }
 
 void Simulator::begin_lock_release(std::uint32_t proc, std::uint32_t lock_line) {
   if (checker_) checker_->on_begin_release(proc, lock_line);
+  if (tracing(obs::category::kLocks)) {
+    recorder_->emit(obs::TraceEvent{cycle_, obs::EventKind::kReleaseBegin,
+                                    static_cast<std::int32_t>(proc), lock_line,
+                                    0, 0});
+  }
   scheme_->begin_release(proc, lock_line);
+}
+
+void Simulator::on_occupied(const bus::Transaction& txn, std::uint32_t cycles) {
+  // Registered only while bus tracing is on, so no category re-check.  Bit 8
+  // of the payload distinguishes the split-transaction response tenure from
+  // the request tenure.
+  const std::uint64_t kind =
+      static_cast<std::uint64_t>(txn.kind) |
+      (txn.phase == TxnPhase::kOnBusResp ? 0x100u : 0u);
+  recorder_->emit(obs::TraceEvent{cycle_, obs::EventKind::kBusGrant,
+                                  txn.requester, txn.line_addr, kind, cycles});
+}
+
+void Simulator::cache_transition_hook(void* ctx, std::uint32_t line_addr,
+                                      cache::LineState from,
+                                      cache::LineState to) {
+  const auto* hook = static_cast<const CacheHookCtx*>(ctx);
+  Simulator& sim = *hook->sim;
+  sim.recorder_->emit(obs::TraceEvent{
+      sim.cycle_, obs::EventKind::kMesiTransition,
+      static_cast<std::int32_t>(hook->proc), line_addr,
+      static_cast<std::uint64_t>(from), static_cast<std::uint64_t>(to)});
 }
 
 void Simulator::set_scheme_for_test(std::unique_ptr<sync::LockScheme> scheme) {

@@ -26,6 +26,7 @@
 #include "core/processor.hpp"
 #include "core/results.hpp"
 #include "mem/memory.hpp"
+#include "obs/event_recorder.hpp"
 #include "sync/lock_stats.hpp"
 #include "sync/scheme.hpp"
 #include "trace/source.hpp"
@@ -49,7 +50,7 @@ struct FastForwardStats {
                                        // the engine on an unproductive window
 };
 
-class Simulator final : public sync::SchemeServices {
+class Simulator final : public sync::SchemeServices, public bus::BusObserver {
  public:
   /// The program trace must outlive the simulator; sources are reset on
   /// construction.
@@ -138,6 +139,12 @@ class Simulator final : public sync::SchemeServices {
   [[nodiscard]] const InvariantChecker* invariant_checker() const {
     return checker_.get();
   }
+  /// Null unless config().trace.enabled.  Callers driving step() by hand must
+  /// call recorder()->flush() themselves; run() flushes at the end.
+  [[nodiscard]] obs::EventRecorder* recorder() { return recorder_.get(); }
+
+  // --- bus::BusObserver (registered only while bus tracing is on) ----------
+  void on_occupied(const bus::Transaction& txn, std::uint32_t cycles) override;
   /// Replaces the lock scheme (tests only: lets test_invariants.cpp inject a
   /// deliberately-broken scheme to prove the checker fires).
   void set_scheme_for_test(std::unique_ptr<sync::LockScheme> scheme);
@@ -173,6 +180,21 @@ class Simulator final : public sync::SchemeServices {
   sync::LockStatsCollector lock_stats_;
   std::unique_ptr<sync::LockScheme> scheme_;
   std::unique_ptr<InvariantChecker> checker_;
+  std::unique_ptr<obs::EventRecorder> recorder_;  // null unless trace.enabled
+
+  /// recorder_ is live and the category is unmasked.
+  [[nodiscard]] bool tracing(std::uint32_t cat) const {
+    return recorder_ != nullptr && recorder_->wants(cat);
+  }
+  // Per-cache context for the coherence-transition hook (stable addresses:
+  // sized once in the constructor).
+  struct CacheHookCtx {
+    Simulator* sim = nullptr;
+    std::uint32_t proc = 0;
+  };
+  std::vector<CacheHookCtx> cache_hook_ctx_;
+  static void cache_transition_hook(void* ctx, std::uint32_t line_addr,
+                                    cache::LineState from, cache::LineState to);
 
   std::uint64_t cycle_ = 0;
   std::uint64_t next_txn_id_ = 1;

@@ -1,0 +1,68 @@
+// Event recorder: the single choke point every instrumentation site feeds.
+//
+// Events are staged in a fixed-capacity ring (util::RingBuffer, the same
+// structure as the hardware queues) and drained to the registered sinks in
+// batches, so the steady-state emit path is a bounds check and a slot store.
+// Nothing is ever dropped: a full ring drains synchronously.  Sinks are
+// non-owning and must outlive the recorder's last flush().
+#pragma once
+
+#include <vector>
+
+#include "obs/trace_event.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace syncpat::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink();
+  virtual void on_event(const TraceEvent& event) = 0;
+  /// End of run: the recorder has drained every staged event.
+  virtual void on_flush() {}
+};
+
+class EventRecorder {
+ public:
+  explicit EventRecorder(const TraceConfig& config)
+      : categories_(config.categories),
+        ring_(config.ring_capacity > 0 ? config.ring_capacity : 1) {}
+
+  /// Category filter, checked by the instrumentation sites before building
+  /// an event at all.
+  [[nodiscard]] bool wants(std::uint32_t cat) const {
+    return (categories_ & cat) != 0;
+  }
+  [[nodiscard]] std::uint32_t categories() const { return categories_; }
+
+  void add_sink(TraceSink* sink) { sinks_.push_back(sink); }
+
+  void emit(const TraceEvent& event) {
+    if (ring_.full()) drain();
+    ring_.push_back(event);
+    ++emitted_;
+  }
+
+  /// Drains the ring and notifies every sink that the run is over.
+  void flush() {
+    drain();
+    for (TraceSink* sink : sinks_) sink->on_flush();
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void drain() {
+    while (!ring_.empty()) {
+      const TraceEvent event = ring_.pop_front();
+      for (TraceSink* sink : sinks_) sink->on_event(event);
+    }
+  }
+
+  std::uint32_t categories_;
+  util::RingBuffer<TraceEvent> ring_;
+  std::vector<TraceSink*> sinks_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace syncpat::obs

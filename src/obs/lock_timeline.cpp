@@ -1,0 +1,39 @@
+#include "obs/lock_timeline.hpp"
+
+#include <utility>
+
+namespace syncpat::obs {
+
+void LockTimelineSink::on_event(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kAcquired:
+      ++timeline_.locks[ev.line].acquisitions;
+      break;
+    case EventKind::kHandoff: {
+      LockTimeline::PerLock& lock = timeline_.locks[ev.line];
+      ++lock.handoffs;
+      lock.transfers.push_back(
+          LockTimeline::Transfer{ev.cycle, 0, ev.a, false});
+      break;
+    }
+    case EventKind::kTransferDone: {
+      // At most one hand-off per lock is in flight (the stats layer's
+      // transfer_pending flag), so the open transfer is always the last one.
+      LockTimeline::PerLock& lock = timeline_.locks[ev.line];
+      if (!lock.transfers.empty() && !lock.transfers.back().latency_known) {
+        lock.transfers.back().latency = ev.b;
+        lock.transfers.back().latency_known = true;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+LockTimeline LockTimelineSink::take(std::uint64_t run_cycles) {
+  timeline_.run_cycles = run_cycles;
+  return std::exchange(timeline_, LockTimeline{});
+}
+
+}  // namespace syncpat::obs

@@ -1,0 +1,20 @@
+// §2.3-style attribution table over a traced run: per lock, hand-off counts,
+// transfer-latency distribution and waiters-at-transfer, split into equal
+// phase windows of the run so drift over time is visible (the question the
+// end-of-run averages in Tables 4/6 cannot answer).
+#pragma once
+
+#include <cstddef>
+
+#include "obs/lock_timeline.hpp"
+#include "report/table.hpp"
+
+namespace syncpat::report {
+
+/// One "all" row plus `phases` window rows per lock, for the `max_locks`
+/// locks with the most hand-offs.
+[[nodiscard]] Table lock_timeline_table(const obs::LockTimeline& timeline,
+                                        std::size_t max_locks = 6,
+                                        std::size_t phases = 4);
+
+}  // namespace syncpat::report

@@ -1,15 +1,21 @@
 #include "sync/lock_stats.hpp"
 
+#include "obs/event_recorder.hpp"
 #include "util/assert.hpp"
 
 namespace syncpat::sync {
 
-void LockStatsCollector::acquired(std::uint32_t lock_line, std::uint32_t /*proc*/,
+void LockStatsCollector::acquired(std::uint32_t lock_line, std::uint32_t proc,
                                   std::uint64_t now) {
   Live& live = live_[lock_line];
   live.acquire_time = now;
   ++total_.acquisitions;
   ++per_lock_[lock_line].acquisitions;
+  if (recorder_ != nullptr) {
+    recorder_->emit(obs::TraceEvent{now, obs::EventKind::kAcquired,
+                                    static_cast<std::int32_t>(proc), lock_line,
+                                    0, 0});
+  }
   if (live.transfer_pending) {
     // acquired() via a hand-off also closes the transfer-latency window.
     const auto latency = static_cast<double>(now - live.release_time);
@@ -18,6 +24,11 @@ void LockStatsCollector::acquired(std::uint32_t lock_line, std::uint32_t /*proc*
     per_lock_[lock_line].transfer_cycles.add(latency);
     per_lock_[lock_line].transfer_hist.add(now - live.release_time);
     live.transfer_pending = false;
+    if (recorder_ != nullptr) {
+      recorder_->emit(obs::TraceEvent{now, obs::EventKind::kTransferDone,
+                                      static_cast<std::int32_t>(proc),
+                                      lock_line, 0, now - live.release_time});
+    }
   }
 }
 
@@ -48,6 +59,12 @@ void LockStatsCollector::released(std::uint32_t lock_line, std::uint64_t now,
     per_lock_[lock_line].waiters_at_transfer.add(static_cast<double>(waiters_left));
     live.release_time = now;
     live.transfer_pending = true;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->emit(obs::TraceEvent{
+        now,
+        transferred ? obs::EventKind::kHandoff : obs::EventKind::kReleased, -1,
+        lock_line, waiters_left, 0});
   }
 }
 

@@ -14,6 +14,10 @@
 #include "util/histogram.hpp"
 #include "util/running_stat.hpp"
 
+namespace syncpat::obs {
+class EventRecorder;
+}
+
 namespace syncpat::sync {
 
 struct LockAggregate {
@@ -45,6 +49,12 @@ class LockStatsCollector {
   /// The waiter chosen at the matching released() call is now running.
   void transfer_acquired(std::uint32_t lock_line, std::uint64_t now);
 
+  /// Every lock scheme funnels through this collector, so mirroring the
+  /// calls as trace events here instruments all schemes at once and keeps
+  /// hand-off event counts equal to the `transfers` aggregate by
+  /// construction.  Null (the default) emits nothing.
+  void set_recorder(obs::EventRecorder* recorder) { recorder_ = recorder; }
+
   [[nodiscard]] const LockAggregate& total() const { return total_; }
   [[nodiscard]] const std::unordered_map<std::uint32_t, LockAggregate>& per_lock()
       const {
@@ -63,6 +73,7 @@ class LockStatsCollector {
   LockAggregate total_;
   std::unordered_map<std::uint32_t, LockAggregate> per_lock_;
   std::unordered_map<std::uint32_t, Live> live_;
+  obs::EventRecorder* recorder_ = nullptr;
 };
 
 }  // namespace syncpat::sync

@@ -18,7 +18,14 @@ std::string with_commas(std::uint64_t value) {
 }
 
 std::string with_commas(std::int64_t value) {
-  if (value < 0) return "-" + with_commas(static_cast<std::uint64_t>(-value));
+  if (value < 0) {
+    // Negate in unsigned arithmetic: -INT64_MIN overflows int64_t (UB), but
+    // 0 - uint64(INT64_MIN) is the well-defined magnitude 2^63.
+    const std::uint64_t magnitude = 0 - static_cast<std::uint64_t>(value);
+    std::string out = with_commas(magnitude);
+    out.insert(out.begin(), '-');
+    return out;
+  }
   return with_commas(static_cast<std::uint64_t>(value));
 }
 

@@ -32,7 +32,13 @@ std::uint64_t Histogram::bucket_hi(std::size_t i) {
 std::uint64_t Histogram::quantile(double p) const {
   if (count_ == 0) return 0;
   p = std::clamp(p, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(count_));
+  // Rank of the sample the quantile falls on, clamped to the last sample:
+  // with p = 1.0 the unclamped target equals count_, which no cumulative
+  // count exceeds, and the scan used to fall through to bucket_hi(32) ~ 2^63
+  // regardless of the data.  Clamping returns the hi bound of the highest
+  // occupied bucket instead.
+  const auto target = std::min(
+      static_cast<std::uint64_t>(p * static_cast<double>(count_)), count_ - 1);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];

@@ -155,5 +155,25 @@ TEST(ExperimentEngine, JobsFromEnvParsesAndRejects) {
   unsetenv("SYNCPAT_JOBS");
 }
 
+// SYNCPAT_BENCH_REPS and friends share this helper; it follows the
+// SYNCPAT_SCALE policy — a set-but-malformed value is an error, never a
+// silent fall-through to the default.
+TEST(ExperimentEngine, PositiveU64FromEnvParsesAndRejects) {
+  const char* var = "SYNCPAT_TEST_KNOB";
+  unsetenv(var);
+  EXPECT_EQ(core::positive_u64_from_env(var, 7), 7u);
+
+  setenv(var, "12", 1);
+  EXPECT_EQ(core::positive_u64_from_env(var, 7), 12u);
+
+  for (const char* bad : {"", "abc", "3x", "0", "-2", " 4"}) {
+    setenv(var, bad, 1);
+    EXPECT_THROW(static_cast<void>(core::positive_u64_from_env(var, 7)),
+                 std::invalid_argument)
+        << "value \"" << bad << "\" should be rejected";
+  }
+  unsetenv(var);
+}
+
 }  // namespace
 }  // namespace syncpat

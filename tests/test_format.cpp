@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace syncpat::util {
 namespace {
 
@@ -20,6 +22,15 @@ TEST(Format, WithCommasGroups) {
 TEST(Format, WithCommasNegative) {
   EXPECT_EQ(with_commas(std::int64_t{-1234567}), "-1,234,567");
   EXPECT_EQ(with_commas(std::int64_t{-1}), "-1");
+}
+
+// Regression: negating INT64_MIN inside with_commas was signed overflow (UB);
+// the magnitude must be computed in unsigned arithmetic.
+TEST(Format, WithCommasInt64Extremes) {
+  EXPECT_EQ(with_commas(std::numeric_limits<std::int64_t>::min()),
+            "-9,223,372,036,854,775,808");
+  EXPECT_EQ(with_commas(std::numeric_limits<std::int64_t>::max()),
+            "9,223,372,036,854,775,807");
 }
 
 TEST(Format, FixedDecimals) {

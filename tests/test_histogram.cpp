@@ -59,6 +59,25 @@ TEST(Histogram, QuantileEmptyIsZero) {
   EXPECT_EQ(h.quantile(0.5), 0u);
 }
 
+// Regression: p = 1.0 produced an unclamped rank equal to count(), which no
+// cumulative bucket count exceeds, so the scan fell through to the global
+// last bucket's hi bound (~2^63) regardless of the data.
+TEST(Histogram, QuantileEndpoints) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 1u);      // hi bound of the lowest bucket, [1,1]
+  EXPECT_EQ(h.quantile(0.5), 511u);
+  EXPECT_EQ(h.quantile(1.0), 1023u);   // hi bound of [512,1023], not 2^63-1
+}
+
+TEST(Histogram, QuantileSingleValueSameForAllP) {
+  Histogram h;
+  h.add(42);  // lands in [32,63]
+  EXPECT_EQ(h.quantile(0.0), 63u);
+  EXPECT_EQ(h.quantile(0.5), 63u);
+  EXPECT_EQ(h.quantile(1.0), 63u);
+}
+
 TEST(Histogram, MergeAddsCounts) {
   Histogram a, b;
   a.add(5);

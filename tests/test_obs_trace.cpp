@@ -1,0 +1,364 @@
+// Tests for the cycle-stamped event-tracing subsystem (src/obs/): recorder
+// staging/draining, category parsing, Chrome trace-event JSON validity, the
+// hand-off == Transfers accounting contract, byte-identical results with
+// tracing off vs on, identical traces across engine job counts, and bulk
+// idle spans from the fast-forward engine.
+//
+// Suite names all start with "Trace" so `--gtest_filter='Trace*'` (the TSan
+// recipe in EXPERIMENTS.md) covers the whole layer.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/experiment_engine.hpp"
+#include "core/simulator.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/event_recorder.hpp"
+#include "obs/lock_timeline.hpp"
+#include "report/lock_timeline.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace syncpat {
+namespace {
+
+using obs::EventKind;
+using obs::TraceEvent;
+
+/// Records every delivered event plus the flush calls.
+class RecordingSink final : public obs::TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override { events.push_back(event); }
+  void on_flush() override { ++flushes; }
+
+  std::vector<TraceEvent> events;
+  int flushes = 0;
+};
+
+TEST(TraceRecorder, DeliversEventsInOrderThroughATinyRing) {
+  obs::TraceConfig config;
+  config.enabled = true;
+  config.ring_capacity = 2;  // forces mid-run drains
+  obs::EventRecorder recorder(config);
+  RecordingSink sink;
+  recorder.add_sink(&sink);
+
+  for (std::uint64_t c = 1; c <= 5; ++c) {
+    TraceEvent ev;
+    ev.cycle = c;
+    ev.kind = EventKind::kAcquired;
+    recorder.emit(ev);
+  }
+  recorder.flush();
+
+  EXPECT_EQ(recorder.emitted(), 5u);
+  ASSERT_EQ(sink.events.size(), 5u);
+  for (std::uint64_t c = 1; c <= 5; ++c) {
+    EXPECT_EQ(sink.events[c - 1].cycle, c);
+  }
+  EXPECT_EQ(sink.flushes, 1);
+}
+
+TEST(TraceRecorder, CategoryMaskFiltersWants) {
+  obs::TraceConfig config;
+  config.categories = obs::category::kLocks | obs::category::kIdle;
+  obs::EventRecorder recorder(config);
+  EXPECT_TRUE(recorder.wants(obs::category::kLocks));
+  EXPECT_TRUE(recorder.wants(obs::category::kIdle));
+  EXPECT_FALSE(recorder.wants(obs::category::kBus));
+  EXPECT_FALSE(recorder.wants(obs::category::kCoherence));
+}
+
+TEST(TraceCategories, ParseAndRender) {
+  EXPECT_EQ(obs::parse_categories("locks"), obs::category::kLocks);
+  EXPECT_EQ(obs::parse_categories("locks,bus,coherence"),
+            obs::category::kLocks | obs::category::kBus |
+                obs::category::kCoherence);
+  EXPECT_EQ(obs::parse_categories("all"), obs::category::kAll);
+  EXPECT_THROW(static_cast<void>(obs::parse_categories("nope")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(obs::parse_categories("")),
+               std::invalid_argument);
+  EXPECT_EQ(obs::categories_to_string(obs::category::kLocks |
+                                      obs::category::kBus),
+            "locks,bus");
+  EXPECT_EQ(obs::categories_to_string(obs::category::kAll), "all");
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax checker — enough to prove the exporter's output is
+// well-formed (Perfetto rejects anything a standard parser would).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') { ++pos_; return true; }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+core::ExperimentOutcome traced_qsort(std::uint32_t categories) {
+  core::MachineConfig config;
+  config.lock_scheme = sync::SchemeKind::kQueuing;
+  config.trace.enabled = true;
+  config.trace.categories = categories;
+  return core::run_experiment(config, workload::qsort_profile(), 128);
+}
+
+TEST(TraceChrome, ExportIsWellFormedJson) {
+  const core::ExperimentOutcome outcome = traced_qsort(obs::category::kAll);
+  ASSERT_FALSE(outcome.trace_json.empty());
+  JsonChecker checker(outcome.trace_json);
+  EXPECT_TRUE(checker.valid());
+  // The four fixed tracks plus the per-processor thread names.
+  EXPECT_GE(count_occurrences(outcome.trace_json, "\"process_name\""), 4u);
+  EXPECT_GE(count_occurrences(outcome.trace_json, "\"thread_name\""),
+            static_cast<std::size_t>(workload::qsort_profile().num_procs));
+}
+
+// The acceptance contract: hand-off events are emitted at the exact source
+// line that counts a transfer, so their count in the exported JSON equals
+// the Transfers column of the contention tables.
+TEST(TraceChrome, HandoffCountEqualsTransfersColumn) {
+  const core::ExperimentOutcome outcome = traced_qsort(obs::category::kAll);
+  EXPECT_GT(outcome.sim.locks.transfers, 0u);
+  EXPECT_EQ(count_occurrences(outcome.trace_json, "\"name\":\"handoff\""),
+            outcome.sim.locks.transfers);
+  EXPECT_EQ(outcome.lock_timeline.total_handoffs(),
+            outcome.sim.locks.transfers);
+}
+
+TEST(TraceChrome, CategoryFilterDropsOtherTracks) {
+  const core::ExperimentOutcome locks_only =
+      traced_qsort(obs::category::kLocks);
+  EXPECT_GT(count_occurrences(locks_only.trace_json, "\"name\":\"handoff\""),
+            0u);
+  EXPECT_EQ(count_occurrences(locks_only.trace_json, "->"), 0u);  // no MESI
+}
+
+TEST(TraceChrome, OutPathSplicesSanitizedLabel) {
+  EXPECT_EQ(obs::trace_out_path("out.json", "Grav/queuing"),
+            "out.Grav-queuing.json");
+  EXPECT_EQ(obs::trace_out_path("trace", "Qsort x128"), "trace.Qsort-x128");
+}
+
+/// Everything the paper tables report, for exact comparison.
+std::string result_fingerprint(const core::SimulationResult& sim) {
+  std::string out;
+  out += "run_time=" + std::to_string(sim.run_time);
+  out += " acq=" + std::to_string(sim.locks.acquisitions);
+  out += " xfer=" + std::to_string(sim.locks.transfers);
+  out += " bus=" + std::to_string(sim.traffic.total());
+  out += " barriers=" + std::to_string(sim.barriers_completed);
+  for (const core::ProcResult& p : sim.per_proc) {
+    out += " [" + std::to_string(p.work_cycles) + "," +
+           std::to_string(p.stall_cache) + "," + std::to_string(p.stall_lock) +
+           "," + std::to_string(p.completion_cycle) + "]";
+  }
+  return out;
+}
+
+// Tracing must be a pure observer: results with the recorder attached are
+// identical to a default-off run.
+TEST(TraceParity, ResultsIdenticalTracingOffVsOn) {
+  core::MachineConfig off;
+  off.lock_scheme = sync::SchemeKind::kTtas;
+  const core::ExperimentOutcome plain =
+      core::run_experiment(off, workload::grav_profile(), 128);
+  EXPECT_TRUE(plain.trace_json.empty());
+
+  core::MachineConfig on = off;
+  on.trace.enabled = true;
+  const core::ExperimentOutcome traced =
+      core::run_experiment(on, workload::grav_profile(), 128);
+  EXPECT_FALSE(traced.trace_json.empty());
+
+  EXPECT_EQ(result_fingerprint(plain.sim), result_fingerprint(traced.sim));
+}
+
+// Per-cell sinks make the trace documents an engine-level determinism
+// guarantee: the same grid yields the same bytes at any worker count.
+TEST(TraceEngine, TraceJsonIdenticalAcrossJobCounts) {
+  core::ExperimentGrid grid;
+  grid.base.trace.enabled = true;
+  grid.profiles = {workload::qsort_profile()};
+  grid.schemes = {sync::SchemeKind::kQueuing, sync::SchemeKind::kTtas};
+  grid.scales = {128};
+
+  core::EngineOptions serial;
+  serial.jobs = 1;
+  core::EngineOptions pooled;
+  pooled.jobs = 4;
+  const core::GridResult a = core::run_grid(grid, serial);
+  const core::GridResult b = core::run_grid(grid, pooled);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a.results[i].ok());
+    ASSERT_TRUE(b.results[i].ok());
+    EXPECT_FALSE(a.results[i].outcome.trace_json.empty());
+    EXPECT_EQ(a.results[i].outcome.trace_json, b.results[i].outcome.trace_json)
+        << "cell " << a.cells[i].label();
+    EXPECT_EQ(a.results[i].outcome.lock_timeline.total_handoffs(),
+              a.results[i].outcome.sim.locks.transfers)
+        << "cell " << a.cells[i].label();
+  }
+}
+
+TEST(TraceTimeline, ReportTableCoversEveryPhase) {
+  const core::ExperimentOutcome outcome = traced_qsort(obs::category::kLocks);
+  ASSERT_FALSE(outcome.lock_timeline.locks.empty());
+  const report::Table t =
+      report::lock_timeline_table(outcome.lock_timeline, 4, 4);
+  std::ostringstream text;
+  t.print(text);
+  EXPECT_NE(text.str().find("all"), std::string::npos);
+  EXPECT_NE(text.str().find("1/4"), std::string::npos);
+  EXPECT_NE(text.str().find("4/4"), std::string::npos);
+}
+
+// A fast-forwarded quiescent stretch must appear as one bulk idle-span
+// event, not thousands of per-cycle records (and not be silently lost).
+TEST(TraceFastForward, SkippedStretchesEmitBulkIdleSpans) {
+  workload::BenchmarkProfile coarse = workload::grav_profile();
+  coarse.work_cycles_per_ref = 400;  // long quiet gaps between references
+  coarse.name = "Grav-coarse";
+  const workload::BenchmarkProfile scaled = coarse.scaled(256);
+  trace::ProgramTrace program = workload::make_program_trace(scaled);
+
+  core::MachineConfig config;
+  config.num_procs = scaled.num_procs;
+  config.fast_forward = true;
+  config.trace.enabled = true;
+  core::Simulator sim(config, program);
+  RecordingSink sink;
+  ASSERT_NE(sim.recorder(), nullptr);
+  sim.recorder()->add_sink(&sink);
+  const core::SimulationResult result = sim.run();
+
+  ASSERT_GT(sim.fast_forward_stats().jumps, 0u)
+      << "coarse profile did not engage fast-forward; test premise broken";
+  std::uint64_t spans = 0;
+  std::uint64_t last_cycle = 0;
+  for (const TraceEvent& ev : sink.events) {
+    if (ev.kind == EventKind::kIdleSpan) {
+      // Emitted when the stretch ends but stamped at its start (span
+      // semantics), so it is exempt from the monotonicity check below.
+      ++spans;
+      EXPECT_GT(ev.a, 0u);    // span length
+      EXPECT_LE(ev.b, ev.a);  // executed ticks fit inside the span
+      EXPECT_LE(ev.cycle + ev.a, result.run_time);
+      continue;
+    }
+    EXPECT_GE(ev.cycle, last_cycle) << "events out of simulation order";
+    last_cycle = ev.cycle;
+  }
+  EXPECT_GT(spans, 0u);
+}
+
+}  // namespace
+}  // namespace syncpat
