@@ -7,23 +7,38 @@
 //   ./barnes_hut_study [bodies] [threads] [chunk]
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 #include "core/simulator.hpp"
 #include "report/table.hpp"
 #include "trace/analyzer.hpp"
 #include "util/format.hpp"
+#include "util/parse.hpp"
 #include "workload/kernels/barnes_hut.hpp"
+
+namespace {
+
+std::uint32_t arg_or(int argc, char** argv, int index, const char* what,
+                     std::uint32_t fallback) {
+  if (argc <= index) return fallback;
+  try {
+    return syncpat::util::parse_positive_u32(argv[index], what);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace syncpat;
 
   workload::BarnesHutParams params;
-  params.num_bodies = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
-                               : 2000;  // the paper's Grav traced 2000 stars
-  params.num_threads = argc > 2
-                           ? static_cast<std::uint32_t>(std::atoi(argv[2]))
-                           : 10;
-  params.chunk = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 4;
+  // The paper's Grav traced 2000 stars.
+  params.num_bodies = arg_or(argc, argv, 1, "bodies", 2000);
+  params.num_threads = arg_or(argc, argv, 2, "threads", 10);
+  params.chunk = arg_or(argc, argv, 3, "chunk", 4);
 
   std::cout << "Barnes-Hut force phase: " << params.num_bodies << " bodies, "
             << params.num_threads << " virtual processors, chunk "

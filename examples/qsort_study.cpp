@@ -7,22 +7,37 @@
 //   ./qsort_study [elements] [threads]
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 #include "core/experiment.hpp"
 #include "core/simulator.hpp"
 #include "report/table.hpp"
 #include "trace/analyzer.hpp"
 #include "util/format.hpp"
+#include "util/parse.hpp"
 #include "workload/kernels/qsort_kernel.hpp"
+
+namespace {
+
+std::uint32_t arg_or(int argc, char** argv, int index, const char* what,
+                     std::uint32_t fallback) {
+  if (argc <= index) return fallback;
+  try {
+    return syncpat::util::parse_positive_u32(argv[index], what);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace syncpat;
 
   workload::QsortParams params;
-  params.num_elements = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
-                                 : 50'000;
-  params.num_threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2]))
-                                : 12;
+  params.num_elements = arg_or(argc, argv, 1, "elements", 50'000);
+  params.num_threads = arg_or(argc, argv, 2, "threads", 12);
 
   std::cout << "Sorting " << util::with_commas(std::uint64_t{params.num_elements})
             << " integers on " << params.num_threads

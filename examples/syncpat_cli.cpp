@@ -51,6 +51,7 @@
 #include "trace/io.hpp"
 #include "trace/validate.hpp"
 #include "util/format.hpp"
+#include "util/parse.hpp"
 #include "workload/generator.hpp"
 #include "workload/profiles.hpp"
 
@@ -91,6 +92,25 @@ struct Options {
   bool trace_events_given = false;
 };
 
+/// Strict positive-integer flag values; exits with a clear message on junk.
+std::uint64_t numeric(const std::string& flag, const std::string& text) {
+  try {
+    return util::parse_positive_u64(text, flag);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+std::uint32_t numeric32(const std::string& flag, const std::string& text) {
+  try {
+    return util::parse_positive_u32(text, flag);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
 Options parse(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -103,18 +123,21 @@ Options parse(int argc, char** argv) {
     else if (arg == "--scheme") opt.scheme = value();
     else if (arg == "--consistency") opt.consistency = value();
     else if (arg == "--write-policy") opt.write_policy = value();
-    else if (arg == "--scale") {
-      opt.scale = std::strtoull(value().c_str(), nullptr, 10);
-      if (opt.scale == 0) {
-        std::cerr << "error: --scale must be >= 1 (the trace length divisor; "
-                     "1 = paper scale)\n";
+    // Numeric flags share util::parse_*: a junk value ("--procs foo") is an
+    // error, never a silent 0 (the SYNCPAT_SCALE policy).
+    else if (arg == "--scale") opt.scale = numeric(arg, value());
+    else if (arg == "--procs") opt.procs = numeric32(arg, value());
+    else if (arg == "--buffer") opt.buffer = numeric32(arg, value());
+    else if (arg == "--mem-cycles") opt.mem_cycles = numeric32(arg, value());
+    else if (arg == "--jobs" || arg == "-j") {
+      // 0 is legal here: "use all cores".
+      try {
+        opt.jobs = util::parse_u32(value(), arg);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "error: " << e.what() << "\n";
         std::exit(2);
       }
     }
-    else if (arg == "--procs") opt.procs = static_cast<std::uint32_t>(std::atoi(value().c_str()));
-    else if (arg == "--buffer") opt.buffer = static_cast<std::uint32_t>(std::atoi(value().c_str()));
-    else if (arg == "--mem-cycles") opt.mem_cycles = static_cast<std::uint32_t>(std::atoi(value().c_str()));
-    else if (arg == "--jobs" || arg == "-j") opt.jobs = static_cast<std::uint32_t>(std::atoi(value().c_str()));
     else if (arg == "--check-invariants") opt.check_invariants = true;
     else if (arg == "--no-fast-forward") opt.fast_forward = false;
     else if (arg == "--trace-out") opt.trace_out = value();

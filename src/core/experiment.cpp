@@ -1,6 +1,5 @@
 #include "core/experiment.hpp"
 
-#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -8,6 +7,7 @@
 #include "core/invariant_checker.hpp"
 #include "core/simulator.hpp"
 #include "obs/chrome_trace.hpp"
+#include "util/parse.hpp"
 #include "workload/generator.hpp"
 
 namespace syncpat::core {
@@ -53,32 +53,11 @@ trace::IdealProgramStats run_ideal(const workload::BenchmarkProfile& profile,
   return trace::analyze_program(program);
 }
 
-namespace {
-
-// Shared strict parse: returns true and fills `out` only for a clean,
-// in-range decimal with no sign, no leading whitespace (strtoull would
-// silently skip it), and no trailing junk.
-bool parse_strict_u64(const char* env, std::uint64_t& out) {
-  const std::string text(env);
-  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0' || errno == ERANGE ||
-      text.find('-') != std::string::npos) {
-    return false;
-  }
-  out = static_cast<std::uint64_t>(value);
-  return true;
-}
-
-}  // namespace
-
 std::uint64_t scale_from_env(std::uint64_t fallback) {
   const char* env = std::getenv("SYNCPAT_SCALE");
   if (env == nullptr) return fallback;
   std::uint64_t value = 0;
-  if (!parse_strict_u64(env, value)) {
+  if (!util::try_parse_u64(env, value)) {
     throw std::invalid_argument(
         "SYNCPAT_SCALE must be a positive integer, got \"" + std::string(env) +
         "\"");
@@ -94,13 +73,7 @@ std::uint64_t scale_from_env(std::uint64_t fallback) {
 std::uint64_t positive_u64_from_env(const char* var, std::uint64_t fallback) {
   const char* env = std::getenv(var);
   if (env == nullptr) return fallback;
-  std::uint64_t value = 0;
-  if (!parse_strict_u64(env, value) || value == 0) {
-    throw std::invalid_argument(std::string(var) +
-                                " must be a positive integer, got \"" +
-                                std::string(env) + "\"");
-  }
-  return value;
+  return util::parse_positive_u64(env, var);
 }
 
 }  // namespace syncpat::core

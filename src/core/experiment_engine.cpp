@@ -1,6 +1,5 @@
 #include "core/experiment_engine.hpp"
 
-#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <deque>
@@ -8,6 +7,8 @@
 #include <new>
 #include <stdexcept>
 #include <thread>
+
+#include "util/parse.hpp"
 
 namespace syncpat::core {
 
@@ -197,15 +198,11 @@ GridResult run_grid(const ExperimentGrid& grid, const EngineOptions& options) {
 std::uint32_t jobs_from_env(std::uint32_t fallback) {
   const char* env = std::getenv("SYNCPAT_JOBS");
   if (env == nullptr) return fallback;
-  const std::string text(env);
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(env, &end, 10);
-  if (text.empty() || end == env || *end != '\0' || errno == ERANGE ||
-      text.find('-') != std::string::npos || value > 0xffff'ffffULL) {
+  std::uint64_t value = 0;
+  if (!util::try_parse_u64(env, value) || value > 0xffff'ffffULL) {
     throw std::invalid_argument(
         "SYNCPAT_JOBS must be a non-negative integer (0 = all cores), got \"" +
-        text + "\"");
+        std::string(env) + "\"");
   }
   return static_cast<std::uint32_t>(value);
 }

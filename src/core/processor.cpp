@@ -58,6 +58,7 @@ void Processor::count_stall_cycle() {
 }
 
 void Processor::tick() {
+  ticked_cycle_ = sim_.now();
   if (state_ == ProcState::kDone) {
     drain_pending();  // trailing buffered writes still drain to the bus
     return;
@@ -183,6 +184,19 @@ void Processor::advance_after_event() {
   if (!has_cur_) {
     state_ = ProcState::kDone;
     stats_.completion_cycle = sim_.now();
+    if (ticked_cycle_ != sim_.now()) {
+      // Pre-tick wake-up (a memory-absorbed write or a retried fill finalizes
+      // before processors tick in Simulator::step).  Mid-trace the woken
+      // processor counts this cycle as work or stall at its own tick, but the
+      // trace just ended, so that tick will see kDone and count nothing —
+      // attribute the final waited cycle here to keep the identity
+      // work + stalls == completion_cycle exact.
+      if (wait_cause_ == bus::StallCause::kLockWait) {
+        ++stats_.stall_lock;
+      } else {
+        ++stats_.stall_cache;
+      }
+    }
     gap_left_ = 0;
     return;
   }
@@ -378,6 +392,7 @@ void Processor::stall_on_txn(Transaction* txn) {
 
 void Processor::enter_lock_wait(bool spinning) {
   state_ = spinning ? ProcState::kSpin : ProcState::kWaitLock;
+  wait_cause_ = StallCause::kLockWait;  // for the end-of-trace wake attribution
 }
 
 void Processor::lock_acquired() {

@@ -162,6 +162,7 @@ class Processor {
   bus::Transaction* wait_txn_ = nullptr;
   WaitMode wait_mode_ = WaitMode::kRefSatisfied;
   bus::StallCause wait_cause_ = bus::StallCause::kCacheMiss;
+  std::uint64_t ticked_cycle_ = 0;  // last cycle whose tick() ran
 
   ProcStats stats_;
 };

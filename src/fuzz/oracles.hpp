@@ -1,0 +1,59 @@
+// The oracle battery: every property a randomized case is checked against.
+//
+// Each oracle is a universally-quantified correctness statement — it must
+// hold for EVERY machine configuration and workload, not just the paper's
+// table cells:
+//
+//   invariants        the runtime invariant checker (MESI coherence, one
+//                     transaction per line, lock mutual exclusion, FIFO
+//                     hand-off) reports zero violations;
+//   fast-forward      fast-forward on and off produce byte-identical
+//                     SimulationResults (render_result string equality);
+//   jobs              the experiment engine returns byte-identical cell
+//                     results with 1 worker and with N workers;
+//   trace-roundtrip   a generated trace survives save -> load -> save with
+//                     identical events and identical bytes;
+//   conservation      acquires == releases per lock and no lock held at end
+//                     (trace validator), traced hand-off events == the
+//                     Transfers aggregate, per-processor
+//                     work + stalls == completion cycle, and
+//                     run_time == max completion cycle.
+//
+// run_oracles never throws on a *failing* oracle — failures come back as
+// structured text so the harness can shrink and serialize the case.  It does
+// propagate exceptions from genuinely broken setups (e.g. a hand-edited
+// repro with a config the simulator rejects).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_case.hpp"
+
+namespace syncpat::fuzz {
+
+struct OracleOptions {
+  bool check_invariants = true;
+  bool check_fast_forward = true;
+  bool check_jobs = true;
+  bool check_trace_roundtrip = true;
+  bool check_conservation = true;
+  /// Worker count for the parallel side of the jobs differential.
+  std::uint32_t jobs = 3;
+};
+
+struct OracleVerdict {
+  /// "oracle-name: detail", one entry per failed property.
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  /// Comma-separated failing oracle names (stable across runs, used by the
+  /// report and by repro replay equivalence checks).
+  [[nodiscard]] std::string failed_oracles() const;
+};
+
+[[nodiscard]] OracleVerdict run_oracles(const FuzzCase& c,
+                                        const OracleOptions& opt = {});
+
+}  // namespace syncpat::fuzz

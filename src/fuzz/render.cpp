@@ -1,0 +1,56 @@
+#include "fuzz/render.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace syncpat::fuzz {
+namespace {
+
+void render_stat(std::ostream& out, const char* label,
+                 const util::RunningStat& s) {
+  out << label << ": n=" << s.count() << " sum=" << s.sum()
+      << " mean=" << s.mean() << " var=" << s.variance() << " min=" << s.min()
+      << " max=" << s.max() << "\n";
+}
+
+}  // namespace
+
+std::string render_result(const core::SimulationResult& r) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << r.program << "/" << r.scheme << "/" << r.consistency
+      << " procs=" << r.num_procs << "\n";
+  out << "run_time=" << r.run_time << " avg_util=" << r.avg_utilization
+      << " stall_cache_pct=" << r.stall_cache_pct
+      << " stall_lock_pct=" << r.stall_lock_pct << "\n";
+  out << "locks: acq=" << r.locks.acquisitions
+      << " transfers=" << r.locks.transfers << "\n";
+  render_stat(out, "hold", r.locks.hold_cycles);
+  render_stat(out, "hold_xfer", r.locks.hold_cycles_transfer);
+  render_stat(out, "waiters", r.locks.waiters_at_transfer);
+  render_stat(out, "xfer_cycles", r.locks.transfer_cycles);
+  out << "xfer_hist: n=" << r.locks.transfer_hist.count();
+  for (std::size_t i = 0; i < util::Histogram::kBuckets; ++i) {
+    out << " " << r.locks.transfer_hist.bucket_count(i);
+  }
+  out << "\n";
+  out << "bus_util=" << r.bus_utilization << " traffic=" << r.traffic.reads
+      << "," << r.traffic.readx << "," << r.traffic.upgrades << ","
+      << r.traffic.writebacks << "," << r.traffic.handoffs << ","
+      << r.traffic.write_throughs << "," << r.traffic.c2c_supplies << ","
+      << r.traffic.memory_reads << "," << r.traffic.lock_ops << "\n";
+  out << "hit_ratios=" << r.write_hit_ratio << "," << r.read_hit_ratio
+      << " syncs=" << r.syncs << "," << r.syncs_with_pending << ","
+      << r.read_bypasses << "\n";
+  out << "barriers=" << r.barriers_completed << "\n";
+  render_stat(out, "barrier_wait", r.barrier_wait_cycles);
+  render_stat(out, "barrier_waiters", r.barrier_waiters_at_arrival);
+  for (const core::ProcResult& p : r.per_proc) {
+    out << "proc: work=" << p.work_cycles << " sc=" << p.stall_cache
+        << " sl=" << p.stall_lock << " sf=" << p.stall_fence
+        << " done=" << p.completion_cycle << " util=" << p.utilization << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace syncpat::fuzz

@@ -1,0 +1,139 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+
+namespace syncpat::fuzz {
+namespace {
+
+// A candidate transformation: simplify `c` in place, returning false when it
+// is already minimal along this axis (candidate skipped, no oracle run).
+using Pass = bool (*)(FuzzCase& c);
+
+bool halve_procs(FuzzCase& c) {
+  if (c.num_procs <= 1) return false;
+  c.num_procs = (c.num_procs + 1) / 2;
+  return true;
+}
+
+bool truncate_workload(FuzzCase& c) {
+  if (c.refs_per_proc <= 50) return false;
+  c.refs_per_proc = std::max<std::uint64_t>(50, c.refs_per_proc / 2);
+  return true;
+}
+
+bool halve_lock_pairs(FuzzCase& c) {
+  if (c.lock_pairs == 0) return false;
+  c.lock_pairs /= 2;
+  if (c.nested_pairs > c.lock_pairs / 2) c.nested_pairs = c.lock_pairs / 2;
+  return true;
+}
+
+bool drop_nesting(FuzzCase& c) {
+  if (c.nested_pairs == 0) return false;
+  c.nested_pairs = 0;
+  return true;
+}
+
+bool single_lock(FuzzCase& c) {
+  if (c.num_locks <= 1 && c.dominant_weight == 1.0 && !c.partitioned) {
+    return false;
+  }
+  c.num_locks = 1;
+  c.dominant_weight = 1.0;
+  c.partitioned = false;
+  return true;
+}
+
+bool drop_barriers(FuzzCase& c) {
+  if (c.barriers == 0) return false;
+  c.barriers = 0;
+  return true;
+}
+
+bool shrink_cache(FuzzCase& c) {
+  if (c.sets_log2 <= 4) return false;
+  c.sets_log2 -= 2;
+  if (c.sets_log2 < 4) c.sets_log2 = 4;
+  return true;
+}
+
+bool direct_mapped(FuzzCase& c) {
+  if (c.associativity <= 1) return false;
+  c.associativity = 1;
+  return true;
+}
+
+bool plain_locality(FuzzCase& c) {
+  if (c.cold_fraction == 0.0 && c.short_fraction == 0.0 &&
+      c.shared_affinity == 0.0) {
+    return false;
+  }
+  c.cold_fraction = 0.0;
+  c.short_fraction = 0.0;
+  c.shared_affinity = 0.0;
+  return true;
+}
+
+bool default_memory(FuzzCase& c) {
+  if (c.mem_cycles == 3 && c.mem_in_depth == 2 && c.mem_out_depth == 2 &&
+      c.buffer_depth == 4 && c.bus_bytes == 8) {
+    return false;
+  }
+  c.mem_cycles = 3;
+  c.mem_in_depth = 2;
+  c.mem_out_depth = 2;
+  c.buffer_depth = 4;
+  c.bus_bytes = std::min(8u, c.line_bytes);
+  return true;
+}
+
+bool sequential_writeback(FuzzCase& c) {
+  if (c.consistency == bus::ConsistencyModel::kSequential &&
+      c.write_policy == cache::WritePolicy::kWriteBack) {
+    return false;
+  }
+  c.consistency = bus::ConsistencyModel::kSequential;
+  c.write_policy = cache::WritePolicy::kWriteBack;
+  return true;
+}
+
+bool simplest_scheme(FuzzCase& c) {
+  if (c.scheme == sync::SchemeKind::kQueuing) return false;
+  c.scheme = sync::SchemeKind::kQueuing;
+  return true;
+}
+
+// Most-reductive passes first: a win on processors or references shrinks
+// every later oracle run, so try those before the cosmetic knobs.
+constexpr Pass kPasses[] = {
+    halve_procs,    truncate_workload, halve_lock_pairs, drop_nesting,
+    single_lock,    drop_barriers,     shrink_cache,     direct_mapped,
+    plain_locality, default_memory,    sequential_writeback, simplest_scheme,
+};
+
+}  // namespace
+
+ShrinkResult shrink(const FuzzCase& failing, const Oracle& oracle,
+                    std::uint32_t max_oracle_runs) {
+  ShrinkResult out;
+  out.minimal = failing;
+
+  bool progressed = true;
+  while (progressed && out.oracle_runs < max_oracle_runs) {
+    progressed = false;
+    for (const Pass pass : kPasses) {
+      if (out.oracle_runs >= max_oracle_runs) break;
+      FuzzCase candidate = out.minimal;
+      if (!pass(candidate)) continue;
+      ++out.oracle_runs;
+      if (!oracle(candidate).ok()) {
+        out.minimal = candidate;
+        ++out.accepted;
+        progressed = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace syncpat::fuzz

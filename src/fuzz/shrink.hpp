@@ -1,0 +1,39 @@
+// Automatic test-case shrinking: reduce a failing FuzzCase to a minimal
+// repro that still fails its oracle.
+//
+// Classic greedy delta-debugging over the case's fields: each pass proposes
+// one simplification (halve the processor count, truncate the workload, drop
+// locks, shrink the cache, zero an exotic knob, fall back to the simplest
+// scheme/model/policy), re-runs the oracle, and keeps the change only if the
+// case still fails.  Passes repeat until a full round accepts nothing — a
+// local fixpoint, which in practice collapses thousands-of-reference cases
+// to a handful of processors and references.  Every accepted candidate ran
+// the oracle, so the returned case is guaranteed to still fail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace syncpat::fuzz {
+
+/// The predicate shrinking preserves.  The production harness binds this to
+/// run_oracles with its options; tests inject synthetic oracles to prove the
+/// shrinker converges.
+using Oracle = std::function<OracleVerdict(const FuzzCase&)>;
+
+struct ShrinkResult {
+  FuzzCase minimal;
+  std::uint32_t oracle_runs = 0;  // candidates evaluated
+  std::uint32_t accepted = 0;     // candidates that kept failing
+};
+
+/// Precondition: oracle(failing) fails.  Runs at most `max_oracle_runs`
+/// oracle evaluations (a failing oracle battery is the expensive path; the
+/// cap keeps shrinking bounded even for stubborn cases).
+[[nodiscard]] ShrinkResult shrink(const FuzzCase& failing, const Oracle& oracle,
+                                  std::uint32_t max_oracle_runs = 256);
+
+}  // namespace syncpat::fuzz

@@ -1,16 +1,39 @@
 #include "trace/io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <memory>
+#include <optional>
 #include <ostream>
 
 namespace syncpat::trace {
 namespace {
 
 constexpr std::array<char, 4> kMagic = {'S', 'P', 'T', 'R'};
+
+// Header fields are untrusted input: a corrupt (or adversarial) file must
+// produce a TraceIoError, never a multi-gigabyte allocation.  Program names
+// are short human labels, and a declared event count can never exceed what
+// the remaining bytes of the stream could actually encode.
+constexpr std::uint32_t kMaxNameLen = 4096;
+constexpr std::uint64_t kEventBytes = 9;  // addr u32 + gap u32 + op u8
+
+/// Bytes left between the current read position and end of stream, or
+/// nullopt when the stream is not seekable (e.g. a pipe).
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  const std::istream::pos_type cur = in.tellg();
+  if (cur == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(cur);
+  if (!in || end == std::istream::pos_type(-1) || end < cur) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - cur);
+}
 
 template <typename T>
 void put(std::ostream& out, T value) {
@@ -95,6 +118,10 @@ ProgramTrace read_program_trace(std::istream& in) {
     throw TraceIoError("implausible processor count in trace file");
   }
   const auto name_len = get<std::uint32_t>(in);
+  if (name_len > kMaxNameLen) {
+    throw TraceIoError("implausible program name length " +
+                       std::to_string(name_len) + " in trace file");
+  }
   std::string name(name_len, '\0');
   in.read(name.data(), name_len);
   if (!in) throw TraceIoError("trace file truncated in name");
@@ -103,8 +130,18 @@ ProgramTrace read_program_trace(std::istream& in) {
   program.name = std::move(name);
   for (std::uint32_t p = 0; p < nprocs; ++p) {
     const auto count = get<std::uint64_t>(in);
+    if (const std::optional<std::uint64_t> rem = remaining_bytes(in);
+        rem.has_value() && count > *rem / kEventBytes) {
+      throw TraceIoError("trace file declares " + std::to_string(count) +
+                         " events for processor " + std::to_string(p) +
+                         " but only " + std::to_string(*rem) +
+                         " bytes remain");
+    }
     std::vector<Event> events;
-    events.reserve(count);
+    // On an unseekable stream the count is still untrusted — reserve a
+    // bounded amount and let push_back grow as events actually arrive.
+    events.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, std::uint64_t{1} << 16)));
     for (std::uint64_t i = 0; i < count; ++i) events.push_back(get_event(in));
     program.per_proc.push_back(
         std::make_unique<VectorTraceSource>(std::move(events)));

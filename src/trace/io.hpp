@@ -10,7 +10,9 @@
 //
 // Readers validate the header and fail loudly on truncation; a trace file is
 // measurement input and silent corruption would invalidate every table
-// derived from it.
+// derived from it.  All header-declared sizes (processor count, name length,
+// per-processor event counts) are bounds-checked against the stream before
+// any allocation, so a corrupt file raises TraceIoError rather than OOM.
 #pragma once
 
 #include <cstdint>

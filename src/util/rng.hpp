@@ -111,11 +111,21 @@ class Rng {
     return static_cast<std::uint64_t>(-mean * std::log1p(-u));
   }
 
-  /// Pick an index weighted by `weights` (need not be normalized).
+  /// Pick an index weighted by `weights` (need not be normalized).  Weights
+  /// must be finite and non-negative with a positive sum: a NaN weight would
+  /// make the subtraction scan below never go negative and silently return
+  /// the last index (and NaN also slips past a plain `total > 0.0` assert,
+  /// since every comparison with NaN is false), so the check is explicit and
+  /// always on.
   std::size_t weighted_pick(std::span<const double> weights) {
     double total = 0.0;
-    for (double w : weights) total += w;
-    SYNCPAT_ASSERT(total > 0.0);
+    for (double w : weights) {
+      SYNCPAT_ASSERT_MSG(std::isfinite(w) && w >= 0.0,
+                         "weighted_pick weights must be finite and >= 0");
+      total += w;
+    }
+    SYNCPAT_ASSERT_MSG(std::isfinite(total) && total > 0.0,
+                       "weighted_pick weights must sum to a positive value");
     double x = uniform() * total;
     for (std::size_t i = 0; i < weights.size(); ++i) {
       x -= weights[i];

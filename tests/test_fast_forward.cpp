@@ -3,17 +3,18 @@
 // per-cycle stepping for every lock scheme, consistency model, and write
 // policy.  Every field — including RunningStat moments, which would expose a
 // single reordered or double-counted sample — is rendered with hexfloat
-// precision and compared as a string so nothing is hidden by rounding.
+// precision (fuzz::render_result, shared with the fuzzing harness) and
+// compared as a string so nothing is hidden by rounding.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
-#include <sstream>
 #include <string>
 
 #include "bus/interface.hpp"
 #include "core/machine_config.hpp"
 #include "core/results.hpp"
 #include "core/simulator.hpp"
+#include "fuzz/render.hpp"
 #include "sync/scheme_factory.hpp"
 #include "trace/source.hpp"
 #include "workload/generator.hpp"
@@ -32,53 +33,6 @@ workload::BenchmarkProfile profile_by_name(const std::string& name) {
   return {};
 }
 
-void render_stat(std::ostream& out, const char* label,
-                 const util::RunningStat& s) {
-  out << label << ": n=" << s.count() << " sum=" << s.sum()
-      << " mean=" << s.mean() << " var=" << s.variance() << " min=" << s.min()
-      << " max=" << s.max() << "\n";
-}
-
-/// Exhaustive textual dump of a SimulationResult.  Doubles are printed as
-/// hexfloat so equality means bit-for-bit identical accumulation order.
-std::string render(const core::SimulationResult& r) {
-  std::ostringstream out;
-  out << std::hexfloat;
-  out << r.program << "/" << r.scheme << "/" << r.consistency
-      << " procs=" << r.num_procs << "\n";
-  out << "run_time=" << r.run_time << " avg_util=" << r.avg_utilization
-      << " stall_cache_pct=" << r.stall_cache_pct
-      << " stall_lock_pct=" << r.stall_lock_pct << "\n";
-  out << "locks: acq=" << r.locks.acquisitions
-      << " transfers=" << r.locks.transfers << "\n";
-  render_stat(out, "hold", r.locks.hold_cycles);
-  render_stat(out, "hold_xfer", r.locks.hold_cycles_transfer);
-  render_stat(out, "waiters", r.locks.waiters_at_transfer);
-  render_stat(out, "xfer_cycles", r.locks.transfer_cycles);
-  out << "xfer_hist: n=" << r.locks.transfer_hist.count();
-  for (std::size_t i = 0; i < util::Histogram::kBuckets; ++i) {
-    out << " " << r.locks.transfer_hist.bucket_count(i);
-  }
-  out << "\n";
-  out << "bus_util=" << r.bus_utilization << " traffic=" << r.traffic.reads
-      << "," << r.traffic.readx << "," << r.traffic.upgrades << ","
-      << r.traffic.writebacks << "," << r.traffic.handoffs << ","
-      << r.traffic.write_throughs << "," << r.traffic.c2c_supplies << ","
-      << r.traffic.memory_reads << "," << r.traffic.lock_ops << "\n";
-  out << "hit_ratios=" << r.write_hit_ratio << "," << r.read_hit_ratio
-      << " syncs=" << r.syncs << "," << r.syncs_with_pending << ","
-      << r.read_bypasses << "\n";
-  out << "barriers=" << r.barriers_completed << "\n";
-  render_stat(out, "barrier_wait", r.barrier_wait_cycles);
-  render_stat(out, "barrier_waiters", r.barrier_waiters_at_arrival);
-  for (const core::ProcResult& p : r.per_proc) {
-    out << "proc: work=" << p.work_cycles << " sc=" << p.stall_cache
-        << " sl=" << p.stall_lock << " sf=" << p.stall_fence
-        << " done=" << p.completion_cycle << " util=" << p.utilization << "\n";
-  }
-  return out.str();
-}
-
 struct RunOutput {
   std::string rendered;
   core::FastForwardStats ff;
@@ -91,7 +45,7 @@ RunOutput run_once(const workload::BenchmarkProfile& scaled,
   trace::ProgramTrace program = workload::make_program_trace(scaled);
   core::Simulator sim(cfg, program);
   RunOutput out;
-  out.rendered = render(sim.run());
+  out.rendered = fuzz::render_result(sim.run());
   out.ff = sim.fast_forward_stats();
   return out;
 }

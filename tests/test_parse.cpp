@@ -1,0 +1,85 @@
+// Strict-parsing policy tests (util/parse): a user-written value is either a
+// clean decimal integer or a loud error — never a silent 0 the way atoi and
+// bare strtoull degrade.  These lock the reject list: empty, whitespace,
+// signs, hex/octal prefixes, trailing junk, and overflow.
+#include "util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace syncpat::util {
+namespace {
+
+TEST(TryParseU64, AcceptsCleanDecimals) {
+  std::uint64_t v = 99;
+  EXPECT_TRUE(try_parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(try_parse_u64("1", v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(try_parse_u64("007", v));
+  EXPECT_EQ(v, 7u);  // leading zeros are still decimal, not octal
+  EXPECT_TRUE(try_parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, 0xffff'ffff'ffff'ffffULL);
+}
+
+TEST(TryParseU64, RejectsEverythingAtoiWouldZero) {
+  std::uint64_t v = 99;
+  for (const char* bad :
+       {"", " ", "foo", "12x", "x12", "1 2", " 12", "12 ", "+5", "-5", "0x10",
+        "1e3", "3.5", "--procs", "\t4", "4\n"}) {
+    EXPECT_FALSE(try_parse_u64(bad, v)) << '"' << bad << '"';
+    EXPECT_EQ(v, 99u) << "out must be untouched on failure: \"" << bad << '"';
+  }
+}
+
+TEST(TryParseU64, RejectsOverflow) {
+  std::uint64_t v = 0;
+  // 2^64 and beyond: one past max, a clean power of ten, and a huge string.
+  for (const char* bad : {"18446744073709551616", "100000000000000000000",
+                          "99999999999999999999999999"}) {
+    EXPECT_FALSE(try_parse_u64(bad, v)) << bad;
+  }
+}
+
+TEST(ParseU64, ThrowsWithFlagNameInMessage) {
+  EXPECT_EQ(parse_u64("0", "--jobs"), 0u);  // 0 is legal for the non-positive variant
+  try {
+    (void)parse_u64("banana", "--jobs");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+}
+
+TEST(ParsePositiveU64, RejectsZero) {
+  EXPECT_EQ(parse_positive_u64("3", "SYNCPAT_SCALE"), 3u);
+  EXPECT_THROW((void)parse_positive_u64("0", "SYNCPAT_SCALE"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_positive_u64("00", "SYNCPAT_SCALE"),
+               std::invalid_argument);
+}
+
+TEST(ParseU32, RejectsValuesBeyond32Bits) {
+  EXPECT_EQ(parse_u32("4294967295", "--procs"), 0xffff'ffffu);
+  EXPECT_THROW((void)parse_u32("4294967296", "--procs"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_u32("18446744073709551615", "--procs"),
+               std::invalid_argument);
+}
+
+TEST(ParsePositiveU32, PositiveAnd32BitBoundsBothEnforced) {
+  EXPECT_EQ(parse_positive_u32("1", "--buffer"), 1u);
+  EXPECT_THROW((void)parse_positive_u32("0", "--buffer"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_positive_u32("4294967296", "--buffer"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_positive_u32("-1", "--buffer"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncpat::util

@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace syncpat::util {
@@ -132,6 +133,37 @@ TEST(Rng, WeightedPickSingleElement) {
   Rng rng(43);
   const std::array<double, 1> weights = {5.0};
   EXPECT_EQ(rng.weighted_pick(weights), 0u);
+}
+
+// weighted_pick input validation: a NaN weight slips past every comparison in
+// the subtraction scan (NaN compares false), and a negative weight can push
+// the scan index out of range — both must abort via SYNCPAT_ASSERT, never
+// silently bias the pick.
+using RngDeath = ::testing::Test;
+
+TEST(RngDeath, WeightedPickRejectsNaNWeight) {
+  Rng rng(47);
+  const std::array<double, 3> weights = {1.0, std::nan(""), 2.0};
+  EXPECT_DEATH((void)rng.weighted_pick(weights), "finite");
+}
+
+TEST(RngDeath, WeightedPickRejectsNegativeWeight) {
+  Rng rng(53);
+  const std::array<double, 2> weights = {1.0, -0.5};
+  EXPECT_DEATH((void)rng.weighted_pick(weights), "finite");
+}
+
+TEST(RngDeath, WeightedPickRejectsInfiniteWeight) {
+  Rng rng(59);
+  const std::array<double, 2> weights = {
+      1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_DEATH((void)rng.weighted_pick(weights), "finite");
+}
+
+TEST(RngDeath, WeightedPickRejectsAllZeroWeights) {
+  Rng rng(61);
+  const std::array<double, 3> weights = {0.0, 0.0, 0.0};
+  EXPECT_DEATH((void)rng.weighted_pick(weights), "positive");
 }
 
 // Property sweep: uniformity of below() over several seeds and bounds.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "test_util.hpp"
@@ -61,6 +62,76 @@ TEST(TraceIo, RejectsTruncation) {
   for (std::size_t cut : {full.size() - 1, full.size() / 2, std::size_t{5}}) {
     std::stringstream cut_buf(full.substr(0, cut));
     EXPECT_THROW(read_program_trace(cut_buf), TraceIoError) << "cut=" << cut;
+  }
+}
+
+// Serialize a small two-processor trace once; the corruption corpus below
+// mutates these bytes.
+std::string sample_bytes() {
+  ProgramTrace program = make_program(
+      {{load(0x8000'0000u, 2), store(0x8000'0040u, 1), lock_acq(0)},
+       {ifetch(0x100), lock_rel(0)}},
+      "corpus");
+  std::stringstream buf;
+  write_program_trace(buf, program);
+  return buf.str();
+}
+
+// Overwrite sizeof(T) bytes at `offset` with `value`'s little-endian encoding.
+template <typename T>
+std::string patched(std::string bytes, std::size_t offset, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(bytes.data() + offset, &value, sizeof(T));
+  return bytes;
+}
+
+// Layout offsets of the v1 format (magic, version u32, nprocs u32,
+// name_len u32, name bytes, then per processor: count u64 + 9-byte events).
+constexpr std::size_t kVersionOffset = 4;
+constexpr std::size_t kNameLenOffset = 12;
+constexpr std::size_t kFirstCountOffset = 16 + 6;  // name "corpus"
+
+TEST(TraceIo, RejectsTruncationAtEveryByteOffset) {
+  const std::string full = sample_bytes();
+  // Every strict prefix must raise TraceIoError — no cut point may yield a
+  // silently shortened trace or an unbounded read.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream buf(full.substr(0, cut));
+    EXPECT_THROW(read_program_trace(buf), TraceIoError) << "cut=" << cut;
+  }
+  // Sanity: the uncut bytes parse.
+  std::stringstream ok(full);
+  EXPECT_EQ(read_program_trace(ok).num_procs(), 2u);
+}
+
+TEST(TraceIo, RejectsUnsupportedVersion) {
+  std::stringstream buf(
+      patched<std::uint32_t>(sample_bytes(), kVersionOffset, 999));
+  EXPECT_THROW(read_program_trace(buf), TraceIoError);
+}
+
+TEST(TraceIo, RejectsImplausibleProcessorCount) {
+  std::stringstream buf(patched<std::uint32_t>(sample_bytes(), 8, 1u << 20));
+  EXPECT_THROW(read_program_trace(buf), TraceIoError);
+}
+
+TEST(TraceIo, RejectsOversizedNameLength) {
+  // An adversarial name_len (here 4 GiB - 1) must be rejected before any
+  // allocation is attempted.
+  std::stringstream buf(
+      patched<std::uint32_t>(sample_bytes(), kNameLenOffset, 0xffff'ffffu));
+  EXPECT_THROW(read_program_trace(buf), TraceIoError);
+}
+
+TEST(TraceIo, RejectsEventCountExceedingStreamSize) {
+  // A declared per-processor event count far beyond the bytes actually in
+  // the stream must be a TraceIoError, not a bad_alloc from reserve().
+  for (const std::uint64_t count :
+       {std::uint64_t{1000}, std::uint64_t{1} << 40,
+        std::uint64_t{0xffff'ffff'ffff'ffffULL}}) {
+    std::stringstream buf(
+        patched<std::uint64_t>(sample_bytes(), kFirstCountOffset, count));
+    EXPECT_THROW(read_program_trace(buf), TraceIoError) << "count=" << count;
   }
 }
 
