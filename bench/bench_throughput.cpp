@@ -31,6 +31,7 @@
 
 #include "bench_common.hpp"
 #include "core/simulator.hpp"
+#include "obs/self_profile.hpp"
 #include "trace/source.hpp"
 #include "workload/generator.hpp"
 #include "workload/profiles.hpp"
@@ -47,6 +48,9 @@ struct Cell {
   double best_wall_ms = 0.0;
   double cycles_per_sec = 0.0;
   core::FastForwardStats ff;
+  // Engine phase breakdown from one extra self-profiled rep (kept out of the
+  // timed reps so timestamp reads never pollute best_wall_ms).
+  obs::SelfProfiler::Snapshot prof;
 };
 
 double now_ms() {
@@ -93,6 +97,22 @@ Cell run_cell(const workload::BenchmarkProfile& scaled,
   }
   cell.cycles_per_sec =
       static_cast<double>(cell.run_cycles) / (cell.best_wall_ms / 1000.0);
+  // One extra rep with the self-profiler attached for the phase breakdown.
+  // Attaching must not change the simulation: assert the final cycle matches.
+  {
+    program.reset_all();
+    core::Simulator sim(cfg, program);
+    obs::SelfProfiler profiler;
+    sim.set_self_profiler(&profiler);
+    const core::SimulationResult res = sim.run();
+    if (res.run_time != cell.run_cycles) {
+      std::cerr << "FATAL: self-profiler changed " << cell.program << "/"
+                << cell.consistency << " run time: " << res.run_time << " vs "
+                << cell.run_cycles << "\n";
+      std::exit(1);
+    }
+    cell.prof = profiler.snapshot();
+  }
   return cell;
 }
 
@@ -114,15 +134,25 @@ void emit_json(std::ostream& out, std::uint64_t scale, std::uint32_t reps,
         "\"fast_forward\": %s, \"run_cycles\": %llu, "
         "\"best_wall_ms\": %.1f, \"cycles_per_sec\": %.4g, "
         "\"ff_jumps\": %llu, \"ff_run_ahead_cycles\": %llu, "
-        "\"ff_skipped_cycles\": %llu, \"ff_probe_pauses\": %llu}%s\n",
+        "\"ff_skipped_cycles\": %llu, \"ff_probe_pauses\": %llu, ",
         c.program.c_str(), c.consistency, c.fast_forward ? "true" : "false",
         static_cast<unsigned long long>(c.run_cycles), c.best_wall_ms,
         c.cycles_per_sec, static_cast<unsigned long long>(c.ff.jumps),
         static_cast<unsigned long long>(c.ff.run_ahead_cycles),
         static_cast<unsigned long long>(c.ff.skipped_cycles),
-        static_cast<unsigned long long>(c.ff.probe_pauses),
-        i + 1 < cells.size() ? "," : "");
+        static_cast<unsigned long long>(c.ff.probe_pauses));
     out << buf;
+    // Phase breakdown from the extra self-profiled rep (its own wall time,
+    // not best_wall_ms; the profiled rep is never the timed one).
+    out << "\"phases_ms\": {";
+    for (std::size_t p = 0; p < obs::SelfProfiler::kNumPhases; ++p) {
+      std::snprintf(buf, sizeof buf, "%s\"%s\": %.2f", p > 0 ? ", " : "",
+                    obs::SelfProfiler::phase_name(
+                        static_cast<obs::SelfProfiler::Phase>(p)),
+                    static_cast<double>(c.prof.ns[p]) / 1e6);
+      out << buf;
+    }
+    out << "}}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"speedup_ff_on_vs_off\": {\n";
   for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
@@ -135,7 +165,70 @@ void emit_json(std::ostream& out, std::uint64_t scale, std::uint32_t reps,
                   i + 2 < cells.size() ? "," : "");
     out << buf;
   }
-  out << "  }\n}\n";
+  out << "  },\n";
+}
+
+/// Metrics-layer overhead guard: Grav/sequential with the registry off vs on.
+/// The off side is the product default — its cost relative to the pre-PR
+/// binary is the "disabled path is one branch per site" claim (compare
+/// BENCH_simulator.json across commits); the on side has a 25% tripwire so
+/// the enabled path can't quietly grow a hot-loop regression.  Either way the
+/// simulation itself must not change: run_cycles are asserted equal.
+double bench_metrics_overhead(std::uint64_t scale, std::uint32_t reps,
+                              std::ostream& out) {
+  workload::BenchmarkProfile profile;
+  for (const auto& p : workload::paper_profiles()) {
+    if (p.name == "Grav") profile = p;
+  }
+  const workload::BenchmarkProfile scaled = profile.scaled(scale);
+  trace::ProgramTrace program = workload::make_program_trace(scaled);
+
+  core::MachineConfig cfg;
+  cfg.num_procs = scaled.num_procs;
+  cfg.lock_scheme = sync::SchemeKind::kTtas;
+  cfg.consistency = bus::ConsistencyModel::kSequential;
+
+  double best_off = 1e300;
+  double best_on = 1e300;
+  std::uint64_t cycles_off = 0;
+  std::uint64_t cycles_on = 0;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    for (const bool enabled : {false, true}) {
+      cfg.metrics.enabled = enabled;
+      program.reset_all();
+      core::Simulator sim(cfg, program);
+      const double t0 = now_ms();
+      const core::SimulationResult res = sim.run();
+      const double wall = now_ms() - t0;
+      if (enabled) {
+        if (wall < best_on) best_on = wall;
+        cycles_on = res.run_time;
+      } else {
+        if (wall < best_off) best_off = wall;
+        cycles_off = res.run_time;
+      }
+    }
+  }
+  if (cycles_on != cycles_off) {
+    std::cerr << "FATAL: enabling metrics changed Grav/sequential run time: "
+              << cycles_on << " vs " << cycles_off << "\n";
+    std::exit(1);
+  }
+  const double overhead = best_on / best_off - 1.0;
+  std::cout << "metrics overhead (Grav/sequential): off " << best_off
+            << " ms, on " << best_on << " ms (" << overhead * 100.0 << "%)\n";
+  if (overhead > 0.25) {
+    std::cerr << "FATAL: metrics-enabled overhead " << overhead * 100.0
+              << "% exceeds the 25% tripwire\n";
+    std::exit(1);
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "  \"metrics_overhead\": {\"program\": \"Grav/sequential\", "
+                "\"off_ms\": %.1f, \"on_ms\": %.1f, \"overhead\": %.4f}\n",
+                best_off, best_on, overhead);
+  out << buf;
+  return overhead;
 }
 
 }  // namespace
@@ -206,6 +299,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   emit_json(out, scale, reps, cells);
+  bench_metrics_overhead(scale, reps, out);
+  out << "}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

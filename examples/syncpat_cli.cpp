@@ -31,8 +31,21 @@
 //     --trace-events LIST   comma list of event categories to record:
 //                           locks,bus,coherence,barriers,idle,all
 //                           (default all; implies tracing on)
+//     --metrics             enable the deterministic metrics layer and print
+//                           the machine profile (stall-cause breakdown,
+//                           per-lock contention, windowed bus utilization)
+//     --metrics-out FILE    write the metrics registry to FILE; the format
+//                           follows the extension (.json or .csv, anything
+//                           else is an error); implies --metrics; with
+//                           --sweep, one file per cell with the cell label
+//                           spliced into FILE
+//     --metrics-window N    bus-utilization gauge window in cycles
+//                           (default 4096)
 //     --csv                 emit results as CSV instead of a table
 //     --validate            validate the trace and exit
+//
+// SYNCPAT_METRICS=1|0 overrides the metrics default from the environment
+// (any other value is an error, never a silent default).
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -44,7 +57,9 @@
 #include "core/machine_config.hpp"
 #include "core/simulator.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "report/lock_timeline.hpp"
+#include "report/machine_profile.hpp"
 #include "report/per_lock.hpp"
 #include "report/table.hpp"
 #include "trace/analyzer.hpp"
@@ -67,6 +82,8 @@ using namespace syncpat;
                "  [--no-fast-forward] [--sweep] [--per-lock]\n"
                "  [--trace-out FILE] [--trace-events locks,bus,coherence,"
                "barriers,idle,all]\n"
+               "  [--metrics] [--metrics-out FILE.json|.csv] "
+               "[--metrics-window N]\n"
                "  [--csv] [--validate]\n";
   std::exit(2);
 }
@@ -90,6 +107,9 @@ struct Options {
   std::string trace_out;  // empty = tracing off (unless --trace-events given)
   std::uint32_t trace_categories = obs::category::kAll;
   bool trace_events_given = false;
+  bool metrics = false;
+  std::string metrics_out;  // non-empty implies --metrics
+  std::uint32_t metrics_window = 0;  // 0 = MetricsConfig default
 };
 
 /// Strict positive-integer flag values; exits with a clear message on junk.
@@ -150,6 +170,10 @@ Options parse(int argc, char** argv) {
         std::exit(2);
       }
     }
+    else if (arg == "--metrics") opt.metrics = true;
+    else if (arg == "--metrics-out") opt.metrics_out = value();
+    else if (arg == "--metrics-window")
+      opt.metrics_window = numeric32(arg, value());
     else if (arg == "--sweep") opt.sweep = true;
     else if (arg == "--per-lock") opt.per_lock = true;
     else if (arg == "--csv") opt.csv = true;
@@ -240,6 +264,27 @@ int run_sweep(const Options& opt, const core::MachineConfig& base) {
       out << cell.outcome.trace_json;
       std::cout << "wrote " << path << "\n";
     }
+    if (!opt.metrics_out.empty() && cell.outcome.metrics != nullptr) {
+      // Cell labels splice into the path like --trace-out; JSON reuses the
+      // cell's pre-rendered bytes (the same ones the jobs-identity test
+      // compares), CSV re-renders from the registry.
+      const std::string path =
+          obs::trace_out_path(opt.metrics_out, result.cells[i].label());
+      const obs::MetricsMeta meta{r.program, r.scheme, r.consistency,
+                                  r.num_procs, r.run_time};
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return 1;
+      }
+      if (obs::metrics_format_from_path(opt.metrics_out) ==
+          obs::MetricsFormat::kJson) {
+        out << cell.outcome.metrics_json;
+      } else {
+        out << obs::metrics_to_csv(*cell.outcome.metrics, meta);
+      }
+      std::cout << "wrote " << path << "\n";
+    }
   }
   if (opt.csv) {
     std::cout << t.to_csv();
@@ -288,6 +333,21 @@ int main(int argc, char** argv) {
   // timeline is useful on its own); --trace-out implies recording.
   config.trace.enabled = !opt.trace_out.empty() || opt.trace_events_given;
   config.trace.categories = opt.trace_categories;
+  try {
+    // --metrics-out implies --metrics; SYNCPAT_METRICS=1|0 overrides both.
+    config.metrics.enabled =
+        obs::metrics_enabled_from_env(opt.metrics || !opt.metrics_out.empty());
+    if (!opt.metrics_out.empty()) {
+      // Validate the extension up front: fail before the run, not after.
+      (void)obs::metrics_format_from_path(opt.metrics_out);
+    }
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (opt.metrics_window > 0) {
+    config.metrics.bus_window_cycles = opt.metrics_window;
+  }
 
   if (opt.sweep) return run_sweep(opt, config);
 
@@ -351,6 +411,30 @@ int main(int argc, char** argv) {
   }
   if (opt.per_lock) {
     report::per_lock_table(sim.lock_stats()).print(std::cout);
+  }
+  if (const obs::MetricsRegistry* m = sim.metrics()) {
+    const obs::MetricsMeta meta{r.program, r.scheme, r.consistency,
+                                r.num_procs, r.run_time};
+    const report::Table profile[] = {report::machine_profile_cycles(*m, meta),
+                                     report::machine_profile_locks(*m),
+                                     report::machine_profile_bus(*m, meta)};
+    for (const report::Table& section : profile) {
+      if (opt.csv) {
+        std::cout << section.to_csv();
+      } else {
+        section.print(std::cout);
+      }
+    }
+    if (!opt.metrics_out.empty()) {
+      std::ofstream out(opt.metrics_out, std::ios::binary);
+      if (!out) {
+        std::cerr << "error: cannot write " << opt.metrics_out << "\n";
+        return 1;
+      }
+      out << obs::render_metrics(*m, meta,
+                                 obs::metrics_format_from_path(opt.metrics_out));
+      std::cout << "wrote " << opt.metrics_out << "\n";
+    }
   }
   if (sim.recorder() != nullptr) {
     if (!opt.trace_out.empty()) {

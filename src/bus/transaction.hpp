@@ -48,6 +48,10 @@ struct Transaction {
   std::uint8_t lock_step = 0;        // scheme-private state machine tag
   bool forced_bus = false;           // atomic op: goes on the bus even on hit
   bool requester_waiting = false;    // the issuing processor stalls on this
+  // Metrics-only tag (never branches simulation): this fetch re-acquires a
+  // line a remote processor invalidated out of the requester's cache, so the
+  // requester's wait cycles are charged to invalidation-refill.
+  bool coherence_refill = false;
   TxnPhase phase = TxnPhase::kQueued;
 
   // Filled at the bus request (snoop) phase:

@@ -37,6 +37,13 @@ ExperimentOutcome run_experiment(const MachineConfig& config,
     outcome.trace_json = chrome.finish();
     outcome.lock_timeline = timeline.take(outcome.sim.run_time);
   }
+  if (sim.metrics() != nullptr) {
+    outcome.metrics = sim.take_metrics();
+    const obs::MetricsMeta meta{outcome.sim.program, outcome.sim.scheme,
+                                outcome.sim.consistency, outcome.sim.num_procs,
+                                outcome.sim.run_time};
+    outcome.metrics_json = obs::metrics_to_json(*outcome.metrics, meta);
+  }
   if (const InvariantChecker* checker = sim.invariant_checker()) {
     outcome.invariants.enabled = true;
     outcome.invariants.checks = checker->checks();

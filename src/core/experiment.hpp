@@ -5,12 +5,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/machine_config.hpp"
 #include "core/results.hpp"
 #include "obs/lock_timeline.hpp"
+#include "obs/metrics.hpp"
 #include "trace/analyzer.hpp"
 #include "workload/profile.hpp"
 
@@ -34,6 +36,12 @@ struct ExperimentOutcome {
   /// engine's job count.
   std::string trace_json;
   obs::LockTimeline lock_timeline;
+  /// Filled only when config.metrics.enabled: the finalized registry (kept
+  /// alive past the simulator) and its JSON rendering.  Rendered inside the
+  /// cell's run like trace_json, so metrics bytes are identical whatever the
+  /// engine's job count (test-enforced).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::string metrics_json;
 };
 
 /// Runs `profile` (optionally length-scaled by `scale`) on the machine.

@@ -13,6 +13,7 @@
 #include "bus/interface.hpp"
 #include "cache/cache.hpp"
 #include "mem/memory.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_event.hpp"
 #include "sync/scheme_factory.hpp"
 
@@ -47,6 +48,11 @@ struct MachineConfig {
   /// the invariant checker — the simulator holds a null recorder unless this
   /// is enabled, and traced runs produce byte-identical results.
   obs::TraceConfig trace;
+  /// Opt-in deterministic metrics (see obs/metrics.hpp): stall-cause
+  /// attribution, per-lock contention histograms, bus-utilization windows.
+  /// Null-unless-enabled like the checker and recorder; enabled runs are
+  /// byte-identical to disabled ones (fuzz oracle #6 proves it).
+  obs::MetricsConfig metrics;
 
   /// Quiescence-aware fast-forward (on by default): when no transaction
   /// exists anywhere in the machine, Simulator::run() jumps the cycle counter

@@ -1,6 +1,7 @@
 #include "core/processor.hpp"
 
 #include "core/simulator.hpp"
+#include "sync/scheme.hpp"
 #include "trace/address_map.hpp"
 #include "util/assert.hpp"
 
@@ -53,8 +54,62 @@ void Processor::count_stall_cycle() {
       ++stats_.stall_cache;
       break;
     default:
-      break;
+      return;  // kRunning/kDone: nothing counted, nothing charged
   }
+  if (mx_ != nullptr) {
+    const obs::StallCat cat = classify_wait_cycle();
+    mx_->attr.charge(cat);
+    resume_cat_ = cat;
+  }
+}
+
+obs::StallCat Processor::classify_wait_cycle() const {
+  switch (state_) {
+    case ProcState::kWaitMem: {
+      const Transaction* t = wait_txn_;
+      if (t == nullptr) return obs::StallCat::kBusTransfer;
+      // A barrier arrival's fetch&increment is barrier time, and any access
+      // on behalf of a contended lock is lock-wait time, whatever machine
+      // phase the transaction is in; otherwise charge by where the
+      // transaction actually is this cycle.
+      if (t->lock_step == sync::kStepBarrier) {
+        return obs::StallCat::kBarrierWait;
+      }
+      if (wait_cause_ == StallCause::kLockWait) {
+        return obs::StallCat::kLockQueuedWait;
+      }
+      if (t->coherence_refill) return obs::StallCat::kInvalidationRefill;
+      switch (t->phase) {
+        case bus::TxnPhase::kQueued:
+          return obs::StallCat::kBusArbitration;
+        case bus::TxnPhase::kOnBusReq:
+        case bus::TxnPhase::kOnBusResp:
+        case bus::TxnPhase::kDone:
+          return obs::StallCat::kBusTransfer;
+        case bus::TxnPhase::kInMemory:
+        case bus::TxnPhase::kMemOutput:
+          return obs::StallCat::kMemoryLatency;
+      }
+      return obs::StallCat::kBusTransfer;
+    }
+    case ProcState::kWaitLock:
+      return wait_is_barrier_ ? obs::StallCat::kBarrierWait
+                              : obs::StallCat::kLockQueuedWait;
+    case ProcState::kSpin:
+      return obs::StallCat::kLockSpin;
+    case ProcState::kWaitFence:
+      // Weak ordering's sync-point drain: time spent emptying the write
+      // buffer and outstanding accesses.
+      return obs::StallCat::kWriteBufferFull;
+    case ProcState::kStallStructural:
+      return obs::StallCat::kWriteBufferFull;
+    default:
+      return obs::StallCat::kCompute;  // unreachable: callers gate on state
+  }
+}
+
+void Processor::note_wait_entered() {
+  if (mx_ != nullptr) resume_cat_ = classify_wait_cycle();
 }
 
 void Processor::tick() {
@@ -69,6 +124,10 @@ void Processor::tick() {
     case ProcState::kRunning:
       if (gap_left_ > 0) {
         ++stats_.work_cycles;
+        if (mx_ != nullptr) {
+          mx_->attr.charge(obs::StallCat::kCompute);
+          resume_cat_ = obs::StallCat::kCompute;
+        }
         --gap_left_;
         if (gap_left_ > 0) return;
         issue_loop();
@@ -76,8 +135,10 @@ void Processor::tick() {
       }
       // Resume/retry cycle (a wake-up re-issuing the current reference or a
       // zero-gap event after a miss): no work executes this cycle, so it is
-      // accounted as a stall — every live cycle is work or stall.
+      // accounted as a stall — every live cycle is work or stall.  The
+      // attribution charges it to the wait that caused the resume.
       ++stats_.stall_cache;
+      if (mx_ != nullptr) mx_->attr.charge(resume_cat_);
       issue_loop();
       return;
     case ProcState::kStallStructural:
@@ -139,11 +200,20 @@ void Processor::skip_cycles(std::uint64_t cycles) {
       SYNCPAT_ASSERT(gap_left_ > cycles);
       stats_.work_cycles += cycles;
       gap_left_ -= cycles;
+      if (mx_ != nullptr) {
+        mx_->attr.charge(obs::StallCat::kCompute, cycles);
+        resume_cat_ = obs::StallCat::kCompute;
+      }
       break;
     case ProcState::kSpin:
     case ProcState::kWaitLock:
       // Mirrors count_stall_cycle() for these states.
       stats_.stall_lock += cycles;
+      if (mx_ != nullptr) {
+        const obs::StallCat cat = classify_wait_cycle();
+        mx_->attr.charge(cat, cycles);
+        resume_cat_ = cat;
+      }
       break;
     case ProcState::kDone:
       break;
@@ -162,6 +232,7 @@ void Processor::issue_loop() {
     SYNCPAT_ASSERT(gap_left_ == 0);
     if (!drain_pending()) {
       state_ = ProcState::kStallStructural;
+      note_wait_entered();
       return;
     }
     if (!has_cur_) {
@@ -196,6 +267,7 @@ void Processor::advance_after_event() {
       } else {
         ++stats_.stall_cache;
       }
+      if (mx_ != nullptr) mx_->attr.charge(resume_cat_);
     }
     gap_left_ = 0;
     return;
@@ -215,6 +287,7 @@ Processor::IssueResult Processor::issue_lock_op(const Event& e) {
     if (!resuming_sync_) ++stats_.syncs_with_pending;
     resuming_sync_ = true;
     state_ = ProcState::kWaitFence;
+    note_wait_entered();
     return IssueResult::kStalled;
   }
   resuming_sync_ = false;
@@ -270,6 +343,7 @@ Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
     wait_mode_ = WaitMode::kRefRetry;
     wait_cause_ = StallCause::kCacheMiss;
     state_ = ProcState::kWaitMem;
+    note_wait_entered();
     return IssueResult::kStalled;
   }
 
@@ -296,6 +370,7 @@ Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
       wait_mode_ = WaitMode::kRefSatisfied;
       wait_cause_ = StallCause::kCacheMiss;
       state_ = ProcState::kWaitMem;
+      note_wait_entered();
       return IssueResult::kStalled;
     }
     return IssueResult::kAdvance;
@@ -319,6 +394,7 @@ Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
       wait_mode_ = WaitMode::kRefSatisfied;
       wait_cause_ = StallCause::kCacheMiss;
       state_ = ProcState::kWaitMem;
+      note_wait_entered();
       return IssueResult::kStalled;
     }
     return IssueResult::kAdvance;
@@ -330,6 +406,7 @@ Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
   if (!alloc.ok) {
     // Every way in the set is awaiting a fill; retry next cycle.
     state_ = ProcState::kStallStructural;
+    note_wait_entered();
     return IssueResult::kStalled;
   }
   if (alloc.writeback_line.has_value()) {
@@ -346,6 +423,11 @@ Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
       is_write ? TxnKind::kReadX : TxnKind::kRead, line,
       static_cast<std::int32_t>(id_),
       stalls ? StallCause::kCacheMiss : StallCause::kNone, /*fills_line=*/true);
+  // Metrics: a fetch of a line a remote processor invalidated away from us
+  // is a coherence refill (the invalidation marker is consumed here).
+  if (mx_ != nullptr && mx_->invalidated_lines.erase(line) > 0) {
+    txn->coherence_refill = true;
+  }
   pending_.push_back(txn);
   if (stalls) {
     txn->requester_waiting = true;
@@ -353,6 +435,7 @@ Processor::IssueResult Processor::issue_mem_ref(const Event& e) {
     wait_mode_ = WaitMode::kRefSatisfied;
     wait_cause_ = StallCause::kCacheMiss;
     state_ = ProcState::kWaitMem;
+    note_wait_entered();
     return IssueResult::kStalled;
   }
   return IssueResult::kAdvance;
@@ -388,11 +471,14 @@ void Processor::stall_on_txn(Transaction* txn) {
   wait_mode_ = WaitMode::kLockStep;
   wait_cause_ = txn->stall_cause;
   state_ = ProcState::kWaitMem;
+  note_wait_entered();
 }
 
-void Processor::enter_lock_wait(bool spinning) {
+void Processor::enter_lock_wait(bool spinning, bool barrier) {
   state_ = spinning ? ProcState::kSpin : ProcState::kWaitLock;
   wait_cause_ = StallCause::kLockWait;  // for the end-of-trace wake attribution
+  wait_is_barrier_ = barrier;
+  note_wait_entered();
 }
 
 void Processor::lock_acquired() {

@@ -28,6 +28,7 @@
 #include "bus/interface.hpp"
 #include "bus/transaction.hpp"
 #include "cache/cache.hpp"
+#include "obs/stall_attribution.hpp"
 #include "trace/source.hpp"
 
 namespace syncpat::core {
@@ -77,6 +78,11 @@ class Processor {
   [[nodiscard]] ProcState state() const { return state_; }
   [[nodiscard]] const ProcStats& stats() const { return stats_; }
 
+  /// Attaches the per-processor metrics slot (null = metrics disabled).
+  /// Every ProcStats increment is mirrored one-for-one into the attribution
+  /// ledger, so sum(categories) == completion_cycle exactly (oracle #6).
+  void set_metrics(obs::ProcMetrics* mx) { mx_ = mx; }
+
   // --- simulator/scheme entry points -------------------------------------
 
   /// Queues a transaction for this processor's cache-bus buffer.
@@ -94,8 +100,10 @@ class Processor {
   /// Lock scheme: stall until `txn` completes (on_txn_complete will forward
   /// to the scheme).
   void stall_on_txn(bus::Transaction* txn);
-  /// Lock scheme: wait for the lock (spinning or passively).
-  void enter_lock_wait(bool spinning);
+  /// Lock scheme: wait for the lock (spinning or passively).  `barrier`
+  /// re-attributes the wait to the barrier category (the simulator's barrier
+  /// path parks arrivals through the same passive-wait machinery).
+  void enter_lock_wait(bool spinning, bool barrier = false);
   /// Lock scheme: the acquire (or release) finished; resume the trace.
   void lock_acquired();
   void lock_release_done();
@@ -146,6 +154,15 @@ class Processor {
   bool drain_pending();
   void count_stall_cycle();
 
+  /// Metrics: which StallCat the current wait state's cycles belong to.
+  /// Only called with mx_ attached and state_ a wait state.
+  [[nodiscard]] obs::StallCat classify_wait_cycle() const;
+  /// Metrics: primes resume_cat_ at every wait-state entry, so a wake that
+  /// arrives before this processor ever counted a stall cycle (e.g. a timer
+  /// firing in the next cycle's pre-tick phases) still resumes with the
+  /// right category.
+  void note_wait_entered();
+
   std::uint32_t id_;
   trace::TraceSource& source_;
   cache::Cache& cache_;
@@ -165,6 +182,14 @@ class Processor {
   std::uint64_t ticked_cycle_ = 0;  // last cycle whose tick() ran
 
   ProcStats stats_;
+
+  // --- metrics (null / inert unless set_metrics attached a slot) ----------
+  obs::ProcMetrics* mx_ = nullptr;
+  /// Category charged for a resume/retry cycle (the gap-0 stall tick() books
+  /// after a wake) and for the end-of-trace pre-tick-wake cycle: the cause of
+  /// the wait just left.
+  obs::StallCat resume_cat_ = obs::StallCat::kCompute;
+  bool wait_is_barrier_ = false;  // current kWaitLock parks a barrier arrival
 };
 
 }  // namespace syncpat::core

@@ -61,12 +61,15 @@ Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
     checker_ = std::make_unique<InvariantChecker>(
         cfg_.invariants, is_fifo_scheme(cfg_.lock_scheme), nprocs);
   }
+  if (cfg_.metrics.enabled) {
+    metrics_ = std::make_shared<obs::MetricsRegistry>(cfg_.metrics, nprocs);
+    lock_stats_.set_metrics(metrics_.get());
+  }
   if (cfg_.trace.enabled) {
     recorder_ = std::make_unique<obs::EventRecorder>(cfg_.trace);
     if (recorder_->wants(obs::category::kLocks)) {
       lock_stats_.set_recorder(recorder_.get());
     }
-    if (recorder_->wants(obs::category::kBus)) bus_.set_observer(this);
     if (recorder_->wants(obs::category::kCoherence)) {
       cache_hook_ctx_.resize(nprocs);
       for (std::uint32_t p = 0; p < nprocs; ++p) {
@@ -76,6 +79,11 @@ Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
       }
     }
   }
+  // One observer slot: both consumers dispatch inside on_occupied.
+  if (metrics_ != nullptr ||
+      (recorder_ != nullptr && recorder_->wants(obs::category::kBus))) {
+    bus_.set_observer(this);
+  }
   ff_enabled_ = fast_forward_from_env(cfg_.fast_forward) && checker_ == nullptr;
   ff_stats_.enabled = ff_enabled_;
   ff_next_issue_.resize(nprocs);
@@ -84,6 +92,7 @@ Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
   for (std::uint32_t p = 0; p < nprocs; ++p) {
     procs_.push_back(std::make_unique<Processor>(
         p, *program.per_proc[p], *caches_[p], *ifaces_[p], *this));
+    if (metrics_ != nullptr) procs_[p]->set_metrics(&metrics_->proc(p));
   }
 }
 
@@ -95,7 +104,9 @@ bool Simulator::all_done() const {
 }
 
 SimulationResult Simulator::run() {
-  if (ff_enabled_) {
+  if (self_prof_ != nullptr) {
+    run_loop_profiled();
+  } else if (ff_enabled_) {
     while (!all_done()) {
       fast_forward();
       // The run-ahead loop may have executed the final processor's completing
@@ -108,9 +119,69 @@ SimulationResult Simulator::run() {
       step();
     }
   }
-  if (checker_) checker_->on_run_end(*this);
-  if (recorder_) recorder_->flush();
+  if (checker_) {
+    if (self_prof_ != nullptr) {
+      const std::int64_t t0 = obs::SelfProfiler::now_ns();
+      checker_->on_run_end(*this);
+      self_prof_->charge(obs::SelfProfiler::Phase::kInvariantCheck,
+                         obs::SelfProfiler::now_ns() - t0);
+    } else {
+      checker_->on_run_end(*this);
+    }
+  }
+  if (recorder_) {
+    if (self_prof_ != nullptr) {
+      const std::int64_t t0 = obs::SelfProfiler::now_ns();
+      recorder_->flush();
+      self_prof_->charge(obs::SelfProfiler::Phase::kTraceEmit,
+                         obs::SelfProfiler::now_ns() - t0);
+    } else {
+      recorder_->flush();
+    }
+  }
+  if (metrics_) finalize_metrics();
   return collect_results();
+}
+
+void Simulator::run_loop_profiled() {
+  using Phase = obs::SelfProfiler::Phase;
+  if (ff_enabled_) {
+    while (!all_done()) {
+      {
+        const std::int64_t t0 = obs::SelfProfiler::now_ns();
+        const std::uint64_t before = cycle_;
+        fast_forward();
+        // A call that moved the clock is run-ahead; one that bailed without
+        // advancing is the quiescence probe's cost.
+        self_prof_->charge(
+            cycle_ > before ? Phase::kFastForward : Phase::kQuiescenceProbe,
+            obs::SelfProfiler::now_ns() - t0);
+      }
+      if (all_done()) break;
+      const std::int64_t t0 = obs::SelfProfiler::now_ns();
+      step();
+      self_prof_->charge(Phase::kDenseTick, obs::SelfProfiler::now_ns() - t0);
+    }
+  } else {
+    while (!all_done()) {
+      const std::int64_t t0 = obs::SelfProfiler::now_ns();
+      step();
+      self_prof_->charge(Phase::kDenseTick, obs::SelfProfiler::now_ns() - t0);
+    }
+  }
+}
+
+void Simulator::finalize_metrics() {
+  std::uint64_t run_time = 0;
+  for (const auto& p : procs_) {
+    run_time = std::max(run_time, p->stats().completion_cycle);
+  }
+  metrics_->finalize(run_time);
+  metrics_->count("bus.busy_cycles", bus_.busy_cycles());
+  metrics_->count("bus.total_cycles", bus_.total_cycles());
+  metrics_->count("mem.requests_served", memory_.requests_served());
+  metrics_->count("mem.busy_cycles", memory_.busy_cycles());
+  metrics_->count("barriers.completed", barriers_completed_);
 }
 
 bool Simulator::quiescent() const {
@@ -339,7 +410,20 @@ void Simulator::step() {
   arbitrate();
   if (Transaction* done = bus_.tick()) complete_bus(done);
 
-  if (checker_) checker_->on_cycle(*this);
+  if (checker_) {
+    if (self_prof_ != nullptr) {
+      // Nested phase: the profiled loop times the whole step() as dense tick,
+      // so move the checker's share into its own bucket (the compensating
+      // entry adds no call count).
+      const std::int64_t t0 = obs::SelfProfiler::now_ns();
+      checker_->on_cycle(*this);
+      const std::int64_t dt = obs::SelfProfiler::now_ns() - t0;
+      self_prof_->charge(obs::SelfProfiler::Phase::kInvariantCheck, dt);
+      self_prof_->charge(obs::SelfProfiler::Phase::kDenseTick, -dt, 0);
+    } else {
+      checker_->on_cycle(*this);
+    }
+  }
   // The watchdog scan walks every processor; a periodic check (plus one at
   // every fast-forward boundary) keeps the 500k-cycle deadlock diagnostic
   // while taking it off the per-cycle path.
@@ -461,7 +545,14 @@ bool Simulator::try_grant(std::uint32_t port) {
     // Shared: a plain invalidation suffices.  Invalid (snooped away while
     // queued) or Pending (a later miss of ours is refetching the line): the
     // write has become a write miss (§4.1) — promote to ReadX.
-    if (st != cache::LineState::kShared) effective = TxnKind::kReadX;
+    if (st != cache::LineState::kShared) {
+      effective = TxnKind::kReadX;
+      // Metrics: Invalid means a remote invalidation took the line while
+      // this upgrade sat queued, so the refetch is a coherence refill.
+      if (metrics_ != nullptr && st == cache::LineState::kInvalid) {
+        txn->coherence_refill = true;
+      }
+    }
   }
   const bool may_need_memory = effective == TxnKind::kRead ||
                                effective == TxnKind::kReadX ||
@@ -554,6 +645,11 @@ void Simulator::snoop_others(Transaction* txn) {
 }
 
 void Simulator::notify_invalidation(std::uint32_t proc, std::uint32_t line_addr) {
+  if (metrics_ != nullptr) {
+    // Remember the loss; the processor's next miss on this line is charged
+    // to invalidation-refill (the marker is consumed there).
+    metrics_->proc(proc).invalidated_lines.insert(line_addr);
+  }
   if (spin_line_[proc] == line_addr && line_addr != 0) {
     spin_line_[proc] = 0;
     if (tracing(obs::category::kLocks)) {
@@ -736,7 +832,7 @@ void Simulator::lock_step_complete(std::uint32_t proc, std::uint32_t line_addr,
     }
   } else {
     b.waiting.push_back(BarrierState::Arrival{proc, cycle_});
-    procs_[proc]->enter_lock_wait(/*spinning=*/false);
+    procs_[proc]->enter_lock_wait(/*spinning=*/false, /*barrier=*/true);
   }
 }
 
@@ -816,14 +912,19 @@ void Simulator::begin_lock_release(std::uint32_t proc, std::uint32_t lock_line) 
 }
 
 void Simulator::on_occupied(const bus::Transaction& txn, std::uint32_t cycles) {
-  // Registered only while bus tracing is on, so no category re-check.  Bit 8
-  // of the payload distinguishes the split-transaction response tenure from
-  // the request tenure.
-  const std::uint64_t kind =
-      static_cast<std::uint64_t>(txn.kind) |
-      (txn.phase == TxnPhase::kOnBusResp ? 0x100u : 0u);
-  recorder_->emit(obs::TraceEvent{cycle_, obs::EventKind::kBusGrant,
-                                  txn.requester, txn.line_addr, kind, cycles});
+  // Registered while bus tracing or metrics are on; dispatch to whichever
+  // consumers exist.
+  if (metrics_ != nullptr) metrics_->bus().add(cycle_, cycles);
+  if (tracing(obs::category::kBus)) {
+    // Bit 8 of the payload distinguishes the split-transaction response
+    // tenure from the request tenure.
+    const std::uint64_t kind =
+        static_cast<std::uint64_t>(txn.kind) |
+        (txn.phase == TxnPhase::kOnBusResp ? 0x100u : 0u);
+    recorder_->emit(obs::TraceEvent{cycle_, obs::EventKind::kBusGrant,
+                                    txn.requester, txn.line_addr, kind,
+                                    cycles});
+  }
 }
 
 void Simulator::cache_transition_hook(void* ctx, std::uint32_t line_addr,

@@ -27,6 +27,8 @@
 #include "core/results.hpp"
 #include "mem/memory.hpp"
 #include "obs/event_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/self_profile.hpp"
 #include "sync/lock_stats.hpp"
 #include "sync/scheme.hpp"
 #include "trace/source.hpp"
@@ -142,8 +144,24 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
   /// Null unless config().trace.enabled.  Callers driving step() by hand must
   /// call recorder()->flush() themselves; run() flushes at the end.
   [[nodiscard]] obs::EventRecorder* recorder() { return recorder_.get(); }
+  /// Null unless config().metrics.enabled.  run() finalizes the registry
+  /// (bus-gauge clip + machine counters) before returning.
+  [[nodiscard]] obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  [[nodiscard]] const obs::MetricsRegistry* metrics() const {
+    return metrics_.get();
+  }
+  /// Shares ownership of the registry so callers (the experiment engine) can
+  /// keep the metrics alive after the simulator is destroyed.
+  [[nodiscard]] std::shared_ptr<obs::MetricsRegistry> take_metrics() {
+    return metrics_;
+  }
+  /// Attaches a host-side wall-clock profiler; run() then times its engine
+  /// phases.  Observes the host only — simulated results are unchanged.
+  void set_self_profiler(obs::SelfProfiler* profiler) {
+    self_prof_ = profiler;
+  }
 
-  // --- bus::BusObserver (registered only while bus tracing is on) ----------
+  // --- bus::BusObserver (registered while bus tracing or metrics are on) ---
   void on_occupied(const bus::Transaction& txn, std::uint32_t cycles) override;
   /// Replaces the lock scheme (tests only: lets test_invariants.cpp inject a
   /// deliberately-broken scheme to prove the checker fires).
@@ -169,6 +187,13 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
   /// or a processor enters a state it cannot reason about.  No-op when the
   /// machine is not quiescent.
   void fast_forward();
+  /// run()'s main loop with SelfProfiler timestamps around each phase.
+  void run_loop_profiled();
+  /// Clips the bus gauge at the run's final cycle and stamps the machine
+  /// counters.  Only values identical across fast-forward modes belong here
+  /// (the export is compared byte-for-byte between them), so ff_stats_ stays
+  /// out.
+  void finalize_metrics();
 
   MachineConfig cfg_;
   std::string program_name_;
@@ -181,6 +206,8 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
   std::unique_ptr<sync::LockScheme> scheme_;
   std::unique_ptr<InvariantChecker> checker_;
   std::unique_ptr<obs::EventRecorder> recorder_;  // null unless trace.enabled
+  std::shared_ptr<obs::MetricsRegistry> metrics_;  // null unless metrics.enabled
+  obs::SelfProfiler* self_prof_ = nullptr;  // null unless a bench attached one
 
   /// recorder_ is live and the category is unmasked.
   [[nodiscard]] bool tracing(std::uint32_t cat) const {

@@ -119,6 +119,76 @@ void check_sim_conservation(OracleVerdict& v,
   }
 }
 
+void check_metrics_conservation(OracleVerdict& v, const core::Simulator& sim,
+                                const core::SimulationResult& r) {
+  const obs::MetricsRegistry* m = sim.metrics();
+  if (m == nullptr) {
+    fail(v, "metrics", "registry missing despite metrics.enabled");
+    return;
+  }
+  // Exact stall attribution: every simulated cycle charged to exactly one
+  // category, so the ledger sums to the completion cycle per processor.
+  for (std::uint32_t p = 0; p < m->num_procs(); ++p) {
+    const std::uint64_t attributed = m->proc(p).attr.total();
+    if (attributed != r.per_proc[p].completion_cycle) {
+      fail(v, "metrics",
+           "proc " + std::to_string(p) + ": attributed cycles " +
+               std::to_string(attributed) + " != completion_cycle " +
+               std::to_string(r.per_proc[p].completion_cycle));
+    }
+  }
+  // Per-lock histograms conserve against the LockStats aggregates.
+  std::uint64_t acquisitions = 0;
+  std::uint64_t transfers = 0;
+  for (const auto& [line, lm] : m->locks()) {
+    acquisitions += lm.acquisitions;
+    transfers += lm.transfers;
+    if (lm.waiters_at_acquire.count() != lm.acquisitions) {
+      fail(v, "metrics",
+           "lock " + std::to_string(line) + ": waiters histogram count " +
+               std::to_string(lm.waiters_at_acquire.count()) +
+               " != acquisitions " + std::to_string(lm.acquisitions));
+    }
+    if (lm.handoff_cycles.count() != lm.transfers) {
+      fail(v, "metrics",
+           "lock " + std::to_string(line) + ": hand-off histogram count " +
+               std::to_string(lm.handoff_cycles.count()) + " != transfers " +
+               std::to_string(lm.transfers));
+    }
+  }
+  if (acquisitions != r.locks.acquisitions) {
+    fail(v, "metrics",
+         "summed lock acquisitions " + std::to_string(acquisitions) +
+             " != lock-stats acquisitions " +
+             std::to_string(r.locks.acquisitions));
+  }
+  if (transfers != r.locks.transfers) {
+    fail(v, "metrics",
+         "summed lock transfers " + std::to_string(transfers) +
+             " != lock-stats transfers " + std::to_string(r.locks.transfers));
+  }
+  for (const auto& [line, agg] : sim.lock_stats().per_lock()) {
+    const auto it = m->locks().find(line);
+    if (it == m->locks().end()) {
+      fail(v, "metrics",
+           "lock " + std::to_string(line) + " has stats but no metrics slot");
+      continue;
+    }
+    if (it->second.hold_cycles.count() != agg.hold_cycles.count()) {
+      fail(v, "metrics",
+           "lock " + std::to_string(line) + ": hold histogram count " +
+               std::to_string(it->second.hold_cycles.count()) +
+               " != stats hold count " + std::to_string(agg.hold_cycles.count()));
+    }
+  }
+  // The clipped bus gauge equals the bus's own tick-by-tick busy counter.
+  if (m->bus().total_busy() != sim.bus().busy_cycles()) {
+    fail(v, "metrics",
+         "bus gauge total " + std::to_string(m->bus().total_busy()) +
+             " != bus busy_cycles " + std::to_string(sim.bus().busy_cycles()));
+  }
+}
+
 void check_jobs_differential(OracleVerdict& v, const FuzzCase& c,
                              const core::MachineConfig& base,
                              const workload::BenchmarkProfile& profile,
@@ -204,6 +274,7 @@ OracleVerdict run_oracles(const FuzzCase& c, const OracleOptions& opt) {
   ref_cfg.fast_forward = false;
   ref_cfg.trace.enabled = opt.check_conservation;
   ref_cfg.trace.categories = obs::category::kLocks;
+  ref_cfg.metrics.enabled = opt.check_metrics;
   program.reset_all();
   core::Simulator ref_sim(ref_cfg, program);
   obs::LockTimelineSink timeline;
@@ -225,10 +296,15 @@ OracleVerdict run_oracles(const FuzzCase& c, const OracleOptions& opt) {
     check_sim_conservation(v, ref, timeline.take(ref.run_time));
   }
 
+  if (opt.check_metrics) {
+    check_metrics_conservation(v, ref_sim, ref);
+  }
+
   if (opt.check_fast_forward) {
-    // Differential: fast-forward on, checker and tracing off.  Byte-identity
-    // with the reference run simultaneously proves fast-forward neutrality
-    // and the zero-cost-when-off claim of the checker and the recorder.
+    // Differential: fast-forward on; checker, tracing and metrics off.
+    // Byte-identity with the reference run simultaneously proves
+    // fast-forward neutrality and that the checker, the recorder and the
+    // metrics registry never perturb a result.
     core::MachineConfig ff_cfg = base;
     ff_cfg.fast_forward = true;
     program.reset_all();

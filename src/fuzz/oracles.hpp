@@ -17,7 +17,14 @@
 //                     (trace validator), traced hand-off events == the
 //                     Transfers aggregate, per-processor
 //                     work + stalls == completion cycle, and
-//                     run_time == max completion cycle.
+//                     run_time == max completion cycle;
+//   metrics           the metrics registry's stall attribution conserves
+//                     every cycle (sum over categories == completion cycle
+//                     per processor), its per-lock histograms agree with the
+//                     LockStats aggregates, and its bus gauge equals the
+//                     bus's own busy counter.  The reference run carries the
+//                     registry, so the fast-forward byte-identity comparison
+//                     also proves metrics-enabled runs change nothing.
 //
 // run_oracles never throws on a *failing* oracle — failures come back as
 // structured text so the harness can shrink and serialize the case.  It does
@@ -39,6 +46,7 @@ struct OracleOptions {
   bool check_jobs = true;
   bool check_trace_roundtrip = true;
   bool check_conservation = true;
+  bool check_metrics = true;
   /// Worker count for the parallel side of the jobs differential.
   std::uint32_t jobs = 3;
 };

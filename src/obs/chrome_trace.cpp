@@ -65,11 +65,24 @@ std::string instant(const char* name, const char* cat, int pid,
   return buf;
 }
 
+std::string counter_sample(const char* name, const char* cat, int pid,
+                           std::uint64_t ts, const char* key,
+                           std::uint64_t value) {
+  char buf[224];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\",\"ts\":%" PRIu64
+                ",\"pid\":%d,\"args\":{\"%s\":%" PRIu64 "}}",
+                name, cat, ts, pid, key, value);
+  return buf;
+}
+
 }  // namespace
 
 ChromeTraceSink::ChromeTraceSink(std::string process_label,
                                  std::uint32_t num_procs)
-    : process_label_(std::move(process_label)), num_procs_(num_procs) {}
+    : process_label_(std::move(process_label)),
+      num_procs_(num_procs),
+      bus_gauge_(MetricsConfig{}.bus_window_cycles) {}
 
 void ChromeTraceSink::append_event(const std::string& json_object) {
   if (!body_.empty()) body_ += ",\n";
@@ -91,10 +104,14 @@ void ChromeTraceSink::close_hold(std::uint32_t line, std::uint64_t now) {
 void ChromeTraceSink::on_event(const TraceEvent& ev) {
   char name[64];
   char args[96];
+  if (ev.cycle > last_cycle_) last_cycle_ = ev.cycle;
   switch (ev.kind) {
     case EventKind::kAcquireBegin:
       wait_open_[ev.proc] = ev.cycle;
       locks_seen_.insert(ev.line);
+      std::snprintf(name, sizeof name, "waiters %s", lock_label(ev.line).c_str());
+      append_event(counter_sample(name, "locks", kPidLocks, ev.cycle, "waiters",
+                                  ++waiters_live_[ev.line]));
       break;
     case EventKind::kAcquired: {
       locks_seen_.insert(ev.line);
@@ -108,6 +125,12 @@ void ChromeTraceSink::on_event(const TraceEvent& ev) {
         wait_open_.erase(it);
       }
       hold_open_[ev.line] = OpenHold{ev.cycle, ev.proc};
+      if (std::uint64_t& w = waiters_live_[ev.line]; w > 0) {
+        std::snprintf(name, sizeof name, "waiters %s",
+                      lock_label(ev.line).c_str());
+        append_event(
+            counter_sample(name, "locks", kPidLocks, ev.cycle, "waiters", --w));
+      }
       break;
     }
     case EventKind::kReleaseBegin:
@@ -122,17 +145,6 @@ void ChromeTraceSink::on_event(const TraceEvent& ev) {
                     static_cast<unsigned long long>(ev.a));
       append_event(
           instant("handoff", "locks", kPidLocks, ev.line, ev.cycle, args));
-      std::snprintf(name, sizeof name, "waiters %s",
-                    lock_label(ev.line).c_str());
-      {
-        char counter[224];
-        std::snprintf(counter, sizeof counter,
-                      "{\"name\":\"%s\",\"cat\":\"locks\",\"ph\":\"C\","
-                      "\"ts\":%llu,\"pid\":%d,\"args\":{\"waiters\":%llu}}",
-                      name, static_cast<unsigned long long>(ev.cycle),
-                      kPidLocks, static_cast<unsigned long long>(ev.a));
-        append_event(counter);
-      }
       break;
     case EventKind::kTransferDone:
       locks_seen_.insert(ev.line);
@@ -146,6 +158,8 @@ void ChromeTraceSink::on_event(const TraceEvent& ev) {
                            args));
       break;
     case EventKind::kBusGrant: {
+      bus_gauge_.add(ev.cycle, ev.b);
+      if (ev.cycle + ev.b > last_cycle_) last_cycle_ = ev.cycle + ev.b;
       const auto kind = static_cast<bus::TxnKind>(ev.a & 0xff);
       std::snprintf(name, sizeof name, "%s%s", bus::txn_kind_name(kind),
                     (ev.a & 0x100) != 0 ? " resp" : "");
@@ -248,6 +262,17 @@ std::string ChromeTraceSink::finish() const {
   if (!body_.empty()) {
     out += ",\n";
     out += body_;
+  }
+  // Bus-busy counter series: one sample per gauge window, stamped at the
+  // window's start cycle.  The gauge is copied so finish() stays const and
+  // repeatable; finalize() clips the final tenure at the last event cycle.
+  BusWindowGauge gauge = bus_gauge_;
+  gauge.finalize(last_cycle_);
+  for (std::size_t i = 0; i < gauge.windows().size(); ++i) {
+    out += ",\n";
+    out += counter_sample("bus busy cycles", "bus", kPidBus,
+                          static_cast<std::uint64_t>(i) * gauge.window_cycles(),
+                          "busy", gauge.windows()[i]);
   }
   out += "\n]}\n";
   return out;

@@ -1,6 +1,9 @@
 // Chrome trace-event JSON exporter (the `chrome://tracing` / Perfetto
 // format): one track per processor, one per lock word, one for the bus, and
-// one machine-wide track for barriers and fast-forwarded idle spans.
+// one machine-wide track for barriers and fast-forwarded idle spans.  Two
+// counter ("ph":"C") series ride along: windowed bus-busy cycles on the bus
+// track and a live waiter count per lock word, so the viewer graphs
+// contention over time next to the spans that caused it.
 //
 // Cycles are written as microsecond timestamps (1 cycle == 1 us), so the
 // viewer's time axis reads directly in simulated cycles.  Output is fully
@@ -14,6 +17,7 @@
 #include <string>
 
 #include "obs/event_recorder.hpp"
+#include "obs/metrics.hpp"
 
 namespace syncpat::obs {
 
@@ -44,6 +48,12 @@ class ChromeTraceSink final : public TraceSink {
   std::set<std::uint32_t> locks_seen_;
   std::map<std::int32_t, std::uint64_t> wait_open_;  // proc -> acquire begin
   std::map<std::uint32_t, OpenHold> hold_open_;      // lock -> owner + since
+  // Counter series: bus tenures bucketed into fixed windows (emitted as one
+  // "ph":"C" sample per window at finish()) and the live waiter count per
+  // lock (sampled inline at every kAcquireBegin / kAcquired).
+  BusWindowGauge bus_gauge_;
+  std::uint64_t last_cycle_ = 0;  // max event end seen, bounds the gauge
+  std::map<std::uint32_t, std::uint64_t> waiters_live_;
 };
 
 /// `base` with `label` spliced in before the extension ("out.json" +

@@ -1,0 +1,150 @@
+// MetricsRegistry: the deterministic metrics layer (counters, gauges and
+// cycle-bucketed histograms), null-unless-enabled like the invariant checker
+// and the EventRecorder — the Simulator holds no registry at all when
+// MetricsConfig.enabled is false, so the disabled path costs one branch per
+// instrumentation site and metrics-enabled runs are byte-identical to
+// disabled ones (the fuzz harness proves this: oracle #6 runs the reference
+// simulation with metrics on and compares it byte-for-byte against a plain
+// run).
+//
+// Everything in the registry is a deterministic function of simulation state:
+// integer cycle counts keyed by sorted maps, so two runs of the same cell —
+// on any --jobs count, fast-forward on or off — render identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/stall_attribution.hpp"
+#include "util/histogram.hpp"
+
+namespace syncpat::obs {
+
+struct MetricsConfig {
+  bool enabled = false;
+  /// Bus-utilization gauge window, in cycles (>= 1).
+  std::uint32_t bus_window_cycles = 4096;
+};
+
+/// Windowed bus-utilization gauge: busy cycles accumulated per fixed-size
+/// cycle window.  Tenures are credited in full when they start (the bus's
+/// busy counter accrues the same cycles tick by tick); since tenures never
+/// overlap, only the final one can outlive the run, and finalize() clips it
+/// so that the window totals equal Bus::busy_cycles() exactly.
+class BusWindowGauge {
+ public:
+  explicit BusWindowGauge(std::uint32_t window_cycles);
+
+  /// A bus tenure of `busy` cycles starting at `cycle`.
+  void add(std::uint64_t cycle, std::uint64_t busy);
+  /// Clips the tail tenure at `end_cycle` (the run's last executed cycle)
+  /// and zero-extends the window vector to cover [0, end_cycle].
+  void finalize(std::uint64_t end_cycle);
+
+  [[nodiscard]] std::uint32_t window_cycles() const { return window_cycles_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& windows() const {
+    return busy_;
+  }
+  [[nodiscard]] std::uint64_t total_busy() const { return total_busy_; }
+  /// Busy fraction of window `i` (the last window may be partial; its
+  /// denominator is still the full window size).
+  [[nodiscard]] double utilization(std::size_t i) const;
+
+ private:
+  void credit(std::uint64_t cycle, std::uint64_t busy, bool subtract);
+
+  std::uint32_t window_cycles_;
+  std::vector<std::uint64_t> busy_;  // busy cycles per window
+  std::uint64_t total_busy_ = 0;
+  std::uint64_t last_start_ = 0;  // final tenure, for finalize()'s clip
+  std::uint64_t last_len_ = 0;
+};
+
+/// Per-lock contention metrics, fed by LockStatsCollector (every scheme
+/// funnels through it, so one hook instruments them all).  Histogram totals
+/// are conserved against the LockStats aggregates by construction:
+/// waiters_at_acquire.count() == acquisitions and
+/// handoff_cycles.count() == transfers (oracle #6 checks both).
+struct LockMetrics {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t transfers = 0;
+  util::Histogram waiters_at_acquire;  // waiters still queued as the lock is taken
+  util::Histogram hold_cycles;         // acquire -> release issue
+  util::Histogram handoff_cycles;      // release -> next owner running
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry(const MetricsConfig& config, std::uint32_t num_procs);
+
+  [[nodiscard]] std::uint32_t num_procs() const {
+    return static_cast<std::uint32_t>(procs_.size());
+  }
+  [[nodiscard]] ProcMetrics& proc(std::uint32_t p) { return procs_[p]; }
+  [[nodiscard]] const ProcMetrics& proc(std::uint32_t p) const {
+    return procs_[p];
+  }
+
+  /// Lazily-created per-lock slot (keyed and exported by line address,
+  /// sorted, so rendering is deterministic).
+  [[nodiscard]] LockMetrics& lock(std::uint32_t line_addr) {
+    return locks_[line_addr];
+  }
+  [[nodiscard]] const std::map<std::uint32_t, LockMetrics>& locks() const {
+    return locks_;
+  }
+
+  [[nodiscard]] BusWindowGauge& bus() { return bus_; }
+  [[nodiscard]] const BusWindowGauge& bus() const { return bus_; }
+
+  /// Named machine-level counter (accumulating; sorted for export).  Only
+  /// deterministic-across-modes values belong here: the export is compared
+  /// byte-for-byte between fast-forward on and off.
+  void count(const std::string& name, std::uint64_t n) { counters_[name] += n; }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// Called once at the end of Simulator::run() with the final cycle.
+  void finalize(std::uint64_t run_time) { bus_.finalize(run_time); }
+
+ private:
+  std::vector<ProcMetrics> procs_;
+  std::map<std::uint32_t, LockMetrics> locks_;
+  BusWindowGauge bus_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+// --- export ---------------------------------------------------------------
+
+/// Run labels stamped into the export header.
+struct MetricsMeta {
+  std::string program;
+  std::string scheme;
+  std::string consistency;
+  std::uint32_t num_procs = 0;
+  std::uint64_t run_time = 0;
+};
+
+enum class MetricsFormat : std::uint8_t { kJson, kCsv };
+
+/// Dispatches on the file extension: ".json" or ".csv"; anything else throws
+/// std::invalid_argument (the strict-parsing policy: junk errors loudly).
+[[nodiscard]] MetricsFormat metrics_format_from_path(const std::string& path);
+
+[[nodiscard]] std::string metrics_to_json(const MetricsRegistry& m,
+                                          const MetricsMeta& meta);
+[[nodiscard]] std::string metrics_to_csv(const MetricsRegistry& m,
+                                         const MetricsMeta& meta);
+[[nodiscard]] std::string render_metrics(const MetricsRegistry& m,
+                                         const MetricsMeta& meta,
+                                         MetricsFormat format);
+
+/// SYNCPAT_METRICS override: "1" forces metrics on, "0" forces them off,
+/// unset keeps `fallback`.  Any other value throws std::invalid_argument
+/// (via util::parse_bool01 — never a silent default).
+[[nodiscard]] bool metrics_enabled_from_env(bool fallback);
+
+}  // namespace syncpat::obs

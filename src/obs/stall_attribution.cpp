@@ -1,0 +1,20 @@
+#include "obs/stall_attribution.hpp"
+
+namespace syncpat::obs {
+
+const char* stall_cat_name(StallCat cat) {
+  switch (cat) {
+    case StallCat::kCompute: return "compute";
+    case StallCat::kLockSpin: return "lock_spin";
+    case StallCat::kLockQueuedWait: return "lock_queued_wait";
+    case StallCat::kBarrierWait: return "barrier_wait";
+    case StallCat::kBusArbitration: return "bus_arbitration";
+    case StallCat::kBusTransfer: return "bus_transfer";
+    case StallCat::kMemoryLatency: return "memory_latency";
+    case StallCat::kWriteBufferFull: return "write_buffer_full";
+    case StallCat::kInvalidationRefill: return "invalidation_refill";
+  }
+  return "?";
+}
+
+}  // namespace syncpat::obs

@@ -1,0 +1,73 @@
+// Exact stall-cause attribution: every simulated processor cycle is charged
+// to exactly one category, refining the paper's three-way work/cache/lock
+// split (Tables 3/5) into the machine-level causes behind it.
+//
+// The conservation identity — enforced per processor by fuzz oracle #6 and
+// the metrics tests — is
+//
+//   sum over categories == completion_cycle
+//
+// i.e. the attribution mirrors every ProcStats increment one-for-one; it
+// never invents or drops a cycle.  The categories intentionally re-attribute
+// some cycles the legacy counters lump together: a resume/retry cycle
+// (counted as stall_cache by ProcStats) is charged to the wait that caused
+// it, and a lock operation's own memory access is split into its
+// arbitration / transfer / memory phases instead of one "cache" bucket.
+//
+// Charging is null-unless-enabled: Processor holds a ProcMetrics pointer that
+// is null when metrics are off, so the disabled path costs one branch per
+// accounting site and can never perturb simulation behavior.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+namespace syncpat::obs {
+
+enum class StallCat : std::uint8_t {
+  kCompute = 0,          // executing trace work cycles
+  kLockSpin,             // spinning on a cached lock line (T&T&S, ticket)
+  kLockQueuedWait,       // passively waiting for a lock (queuing, Anderson)
+  kBarrierWait,          // waiting at a barrier (arrival access included)
+  kBusArbitration,       // transaction queued, waiting for a bus grant
+  kBusTransfer,          // request or response data on the bus
+  kMemoryLatency,        // transaction inside the memory module
+  kWriteBufferFull,      // structural stall or weak-ordering fence drain
+  kInvalidationRefill,   // re-fetch of a line invalidated by another processor
+};
+
+inline constexpr std::size_t kNumStallCats = 9;
+
+[[nodiscard]] const char* stall_cat_name(StallCat cat);
+
+/// Per-processor cycle ledger: one counter per category.
+struct ProcAttribution {
+  std::array<std::uint64_t, kNumStallCats> cycles{};
+
+  void charge(StallCat cat, std::uint64_t n = 1) {
+    cycles[static_cast<std::size_t>(cat)] += n;
+  }
+  [[nodiscard]] std::uint64_t of(StallCat cat) const {
+    return cycles[static_cast<std::size_t>(cat)];
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : cycles) sum += c;
+    return sum;
+  }
+};
+
+/// The per-processor metrics slot handed to Processor (null when disabled).
+/// `invalidated_lines` remembers lines snooped away from this processor's
+/// cache; the next miss on such a line is a coherence refill, consumed
+/// (erased) when it marks the refetching transaction.  Metrics-only state:
+/// it is read and written solely on the charging path and never branches
+/// simulation behavior.
+struct ProcMetrics {
+  ProcAttribution attr;
+  std::unordered_set<std::uint32_t> invalidated_lines;
+};
+
+}  // namespace syncpat::obs

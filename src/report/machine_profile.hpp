@@ -1,0 +1,27 @@
+// Machine-level cycle-breakdown report (Table 4/6-style layout) rendered
+// from a MetricsRegistry: where every simulated cycle went per processor,
+// per-lock contention, and windowed bus utilization.  This is the measured
+// counterpart to the paper's attribution tables — same conservation property
+// (rows sum to 100%), finer causes.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "report/table.hpp"
+
+namespace syncpat::report {
+
+/// Per-processor stall-cause breakdown: one row per processor, one column
+/// per category as a percentage of that processor's completion cycle, plus
+/// an aggregate row.  Conservation makes each row sum to 100%.
+[[nodiscard]] Table machine_profile_cycles(const obs::MetricsRegistry& m,
+                                           const obs::MetricsMeta& meta);
+
+/// Per-lock contention: acquisitions, transfers, mean waiters at acquire,
+/// mean/p90 hold cycles, mean hand-off cycles.
+[[nodiscard]] Table machine_profile_locks(const obs::MetricsRegistry& m);
+
+/// Windowed bus utilization: overall fraction plus the busiest windows.
+[[nodiscard]] Table machine_profile_bus(const obs::MetricsRegistry& m,
+                                        const obs::MetricsMeta& meta);
+
+}  // namespace syncpat::report

@@ -1,6 +1,7 @@
 #include "sync/lock_stats.hpp"
 
 #include "obs/event_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace syncpat::sync {
@@ -11,6 +12,17 @@ void LockStatsCollector::acquired(std::uint32_t lock_line, std::uint32_t proc,
   live.acquire_time = now;
   ++total_.acquisitions;
   ++per_lock_[lock_line].acquisitions;
+  if (metrics_ != nullptr) {
+    // Read transfer_pending before the hand-off block below clears it: an
+    // uncontended acquire found zero waiters; a hand-off acquire found the
+    // waiters_left recorded at the matching released() call.
+    obs::LockMetrics& lm = metrics_->lock(lock_line);
+    ++lm.acquisitions;
+    lm.waiters_at_acquire.add(live.transfer_pending ? live.pending_waiters : 0);
+    if (live.transfer_pending) {
+      lm.handoff_cycles.add(now - live.release_time);
+    }
+  }
   if (recorder_ != nullptr) {
     recorder_->emit(obs::TraceEvent{now, obs::EventKind::kAcquired,
                                     static_cast<std::int32_t>(proc), lock_line,
@@ -50,7 +62,13 @@ void LockStatsCollector::released(std::uint32_t lock_line, std::uint64_t now,
   const auto held = static_cast<double>(hold_end - live.acquire_time);
   total_.hold_cycles.add(held);
   per_lock_[lock_line].hold_cycles.add(held);
+  if (metrics_ != nullptr) {
+    obs::LockMetrics& lm = metrics_->lock(lock_line);
+    lm.hold_cycles.add(hold_end - live.acquire_time);
+    if (transferred) ++lm.transfers;
+  }
   if (transferred) {
+    live.pending_waiters = waiters_left;
     ++total_.transfers;
     ++per_lock_[lock_line].transfers;
     total_.hold_cycles_transfer.add(held);

@@ -16,6 +16,7 @@
 
 namespace syncpat::obs {
 class EventRecorder;
+class MetricsRegistry;
 }
 
 namespace syncpat::sync {
@@ -55,6 +56,14 @@ class LockStatsCollector {
   /// construction.  Null (the default) emits nothing.
   void set_recorder(obs::EventRecorder* recorder) { recorder_ = recorder; }
 
+  /// Same funnel, second consumer: mirrors per-lock contention into the
+  /// metrics registry's histograms (waiters-at-acquire, hold, hand-off).
+  /// The mirrored counts are conserved against the aggregates by
+  /// construction: waiters_at_acquire.count() == acquisitions and
+  /// handoff_cycles.count() == transfers.  Null (the default) records
+  /// nothing.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   [[nodiscard]] const LockAggregate& total() const { return total_; }
   [[nodiscard]] const std::unordered_map<std::uint32_t, LockAggregate>& per_lock()
       const {
@@ -66,6 +75,7 @@ class LockStatsCollector {
     std::uint64_t acquire_time = 0;
     std::uint64_t release_time = 0;
     std::uint64_t release_issue_time = 0;
+    std::uint64_t pending_waiters = 0;  // waiters_left at the pending hand-off
     bool release_issue_valid = false;
     bool transfer_pending = false;
   };
@@ -74,6 +84,7 @@ class LockStatsCollector {
   std::unordered_map<std::uint32_t, LockAggregate> per_lock_;
   std::unordered_map<std::uint32_t, Live> live_;
   obs::EventRecorder* recorder_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace syncpat::sync

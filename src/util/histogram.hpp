@@ -15,6 +15,7 @@ class Histogram {
   void add(std::uint64_t value);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
   [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
     return buckets_.at(i);
   }
