@@ -1,25 +1,32 @@
 // Tracked simulator-throughput baseline: simulated cycles per wall-clock
 // second for the Grav / Pverify / Qsort / Pdsa profiles under sequential and
-// weak consistency, with the quiescence fast-forward engine on and off.
+// weak consistency, with the discrete-event engine against the legacy
+// per-cycle tick engine.
 //
 // Emits BENCH_simulator.json (path via argv[1], default ./BENCH_simulator.json)
 // so the perf trajectory is tracked in-repo.  Wall time covers Simulator::run()
 // only (trace synthesis is timed separately and reported once per profile);
 // each cell takes the best of SYNCPAT_BENCH_REPS repetitions (default 3) to
-// shave scheduler noise.  The bench also cross-checks that fast-forward on and
-// off finish on the same cycle — a cheap tripwire for the byte-identity
-// contract that tests/test_fast_forward.cpp verifies in full.
+// shave scheduler noise.  The bench also cross-checks that both engines finish
+// on the same cycle — a cheap tripwire for the byte-identity contract that
+// tests/test_fast_forward.cpp verifies in full.
 //
-// Honest-numbers note: the ISSUE targeted >=5x from cycle skipping, but the
-// paper's own workload parameters cap what skipping can deliver.  With 10-12
-// processors at 2-4 work cycles per reference, several references issue on
-// *most* cycles (Table 1's rates), so fully quiet cycles are 0.3% (Pverify) to
-// 15% (Grav) of the run and wall time is dominated by per-reference work that
-// must execute identically in both modes.  The run-ahead engine therefore
-// buys little on these profiles, and the measured speedup here comes mostly
-// from the hot-path work that rode along (no per-cycle allocation, throttled
-// watchdog, one cache lookup per reference, shift/mask set indexing, hoisted
-// log in the gap sampler, O(1) arbitration early-out).  See DESIGN.md section 5.
+// The tick rows run with the quiescence run-ahead on (its best configuration),
+// so speedup_des_vs_tick understates nothing: it is DES against the fastest
+// legacy mode.
+//
+// Honest numbers (2026-08, SYNCPAT_SCALE=8): the four paper profiles are
+// event-dense — 2-4 work cycles per reference and a saturated bus put a due
+// event on 82-99% of cycles, so the DES engine steps nearly every cycle and
+// lands at parity with the tuned tick engine (0.9-1.05x) rather than ahead
+// of it; simulated throughput stays at the PR6 baseline (~2-4.5M cyc/s).
+// The engine's structural win needs sparse event streams: on the
+// Grav-coarse variants (work_cycles_per_ref 100/400) it advances whole
+// inter-event spans in O(1) bus/memory bulk updates and reaches 35-150M
+// cyc/s, and the per-event (rather than per-processor-cycle) cost model is
+// what makes the planned 64-1024-processor scaling studies tractable.  The
+// des_stepped_cycles / des_spans columns record the event density behind
+// each number.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -43,11 +50,12 @@ using namespace syncpat;
 struct Cell {
   std::string program;
   const char* consistency = "";
-  bool fast_forward = false;
+  core::EngineKind engine = core::EngineKind::kDes;
   std::uint64_t run_cycles = 0;
   double best_wall_ms = 0.0;
   double cycles_per_sec = 0.0;
-  core::FastForwardStats ff;
+  core::FastForwardStats ff;    // populated on tick rows
+  core::DesStats des;           // populated on des rows
   // Engine phase breakdown from one extra self-profiled rep (kept out of the
   // timed reps so timestamp reads never pollute best_wall_ms).
   obs::SelfProfiler::Snapshot prof;
@@ -73,17 +81,20 @@ std::uint32_t reps_from_env() {
 
 Cell run_cell(const workload::BenchmarkProfile& scaled,
               trace::ProgramTrace& program, bus::ConsistencyModel model,
-              bool fast_forward, std::uint32_t reps) {
+              core::EngineKind engine, std::uint32_t reps) {
   core::MachineConfig cfg;
   cfg.num_procs = scaled.num_procs;
   cfg.lock_scheme = sync::SchemeKind::kTtas;
   cfg.consistency = model;
-  cfg.fast_forward = fast_forward;
+  cfg.engine = engine;
+  // Tick rows get the quiescence run-ahead: DES is measured against the
+  // legacy engine's best configuration, not a strawman.
+  cfg.fast_forward = engine == core::EngineKind::kTick;
 
   Cell cell;
   cell.program = scaled.name;
   cell.consistency = bus::consistency_name(model);
-  cell.fast_forward = fast_forward;
+  cell.engine = engine;
   cell.best_wall_ms = 1e300;
   for (std::uint32_t rep = 0; rep < reps; ++rep) {
     program.reset_all();
@@ -94,6 +105,7 @@ Cell run_cell(const workload::BenchmarkProfile& scaled,
     if (wall < cell.best_wall_ms) cell.best_wall_ms = wall;
     cell.run_cycles = res.run_time;
     cell.ff = sim.fast_forward_stats();
+    cell.des = sim.des_stats();
   }
   cell.cycles_per_sec =
       static_cast<double>(cell.run_cycles) / (cell.best_wall_ms / 1000.0);
@@ -124,20 +136,27 @@ void emit_json(std::ostream& out, std::uint64_t scale, std::uint32_t reps,
       << "  \"scale\": " << scale << ",\n"
       << "  \"reps\": " << reps << ",\n"
       << "  \"wall_time\": \"best-of-reps, Simulator::run() only\",\n"
+      << "  \"tick_rows\": \"legacy engine with quiescence run-ahead on\",\n"
       << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof buf,
         "    {\"program\": \"%s\", \"consistency\": \"%s\", "
-        "\"fast_forward\": %s, \"run_cycles\": %llu, "
+        "\"engine\": \"%s\", \"run_cycles\": %llu, "
         "\"best_wall_ms\": %.1f, \"cycles_per_sec\": %.4g, "
+        "\"des_stepped_cycles\": %llu, \"des_spans\": %llu, "
+        "\"des_span_cycles\": %llu, "
         "\"ff_jumps\": %llu, \"ff_run_ahead_cycles\": %llu, "
         "\"ff_skipped_cycles\": %llu, \"ff_probe_pauses\": %llu, ",
-        c.program.c_str(), c.consistency, c.fast_forward ? "true" : "false",
+        c.program.c_str(), c.consistency, core::engine_name(c.engine),
         static_cast<unsigned long long>(c.run_cycles), c.best_wall_ms,
-        c.cycles_per_sec, static_cast<unsigned long long>(c.ff.jumps),
+        c.cycles_per_sec,
+        static_cast<unsigned long long>(c.des.stepped_cycles),
+        static_cast<unsigned long long>(c.des.spans),
+        static_cast<unsigned long long>(c.des.span_cycles),
+        static_cast<unsigned long long>(c.ff.jumps),
         static_cast<unsigned long long>(c.ff.run_ahead_cycles),
         static_cast<unsigned long long>(c.ff.skipped_cycles),
         static_cast<unsigned long long>(c.ff.probe_pauses));
@@ -154,14 +173,14 @@ void emit_json(std::ostream& out, std::uint64_t scale, std::uint32_t reps,
     }
     out << "}}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"speedup_ff_on_vs_off\": {\n";
+  out << "  ],\n  \"speedup_des_vs_tick\": {\n";
   for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
-    const Cell& on = cells[i];
-    const Cell& off = cells[i + 1];
+    const Cell& des = cells[i];
+    const Cell& tick = cells[i + 1];
     char buf[160];
     std::snprintf(buf, sizeof buf, "    \"%s/%s\": %.2f%s\n",
-                  on.program.c_str(), on.consistency,
-                  on.cycles_per_sec / off.cycles_per_sec,
+                  des.program.c_str(), des.consistency,
+                  des.cycles_per_sec / tick.cycles_per_sec,
                   i + 2 < cells.size() ? "," : "");
     out << buf;
   }
@@ -240,7 +259,7 @@ int main(int argc, char** argv) {
 
   // The four paper profiles, plus coarse-grained Grav variants (more work
   // cycles between references — the regime of coarse-grained-locking sweeps)
-  // where quiet stretches dominate and the fast path pays off outright.  The
+  // where quiet stretches dominate and span jumping pays off outright.  The
   // coarse variants run at 1/4 trace length to bound bench time.
   struct Spec {
     const char* base;
@@ -276,20 +295,22 @@ int main(int argc, char** argv) {
     trace::ProgramTrace program = workload::make_program_trace(scaled);
     std::cout << name << ": trace synthesis " << now_ms() - tg0 << " ms\n";
     for (const bus::ConsistencyModel model : kModels) {
-      const Cell on = run_cell(scaled, program, model, true, reps);
-      const Cell off = run_cell(scaled, program, model, false, reps);
-      if (on.run_cycles != off.run_cycles) {
-        std::cerr << "FATAL: fast-forward changed " << name << "/"
-                  << on.consistency << " run time: " << on.run_cycles
-                  << " vs " << off.run_cycles << "\n";
+      const Cell des =
+          run_cell(scaled, program, model, core::EngineKind::kDes, reps);
+      const Cell tick =
+          run_cell(scaled, program, model, core::EngineKind::kTick, reps);
+      if (des.run_cycles != tick.run_cycles) {
+        std::cerr << "FATAL: engine choice changed " << name << "/"
+                  << des.consistency << " run time: " << des.run_cycles
+                  << " vs " << tick.run_cycles << "\n";
         return 1;
       }
-      std::cout << "  " << name << "/" << on.consistency << ": ff-on "
-                << on.cycles_per_sec << " cyc/s, ff-off " << off.cycles_per_sec
-                << " cyc/s (" << on.cycles_per_sec / off.cycles_per_sec
+      std::cout << "  " << name << "/" << des.consistency << ": des "
+                << des.cycles_per_sec << " cyc/s, tick " << tick.cycles_per_sec
+                << " cyc/s (" << des.cycles_per_sec / tick.cycles_per_sec
                 << "x)\n";
-      cells.push_back(on);
-      cells.push_back(off);
+      cells.push_back(des);
+      cells.push_back(tick);
     }
   }
 

@@ -16,10 +16,13 @@
 //     --jobs N              worker threads for --sweep (0 = all cores)
 //     --check-invariants    run with the runtime invariant checker enabled;
 //                           exits non-zero on any violation (forces per-cycle
-//                           stepping: the checker observes every cycle)
-//     --no-fast-forward     disable the quiescence fast-forward and step
-//                           every cycle (results are identical; this is the
-//                           CLI spelling of SYNCPAT_FAST_FORWARD=0)
+//                           tick stepping: the checker observes every cycle)
+//     --engine NAME         des|tick: the discrete-event core (default) or
+//                           the legacy per-cycle tick loop; results are
+//                           byte-identical (CLI spelling of SYNCPAT_ENGINE)
+//     --no-fast-forward     deprecated: selects the tick engine with its
+//                           quiescence run-ahead disabled (the historical
+//                           per-cycle reference mode); use --engine=tick
 //     --sweep               run every scheme x both memory models on the
 //                           parallel engine and print a comparison table
 //                           (profiles only)
@@ -79,7 +82,7 @@ using namespace syncpat;
             << " [--program P] [--scheme S] [--consistency C]\n"
                "  [--write-policy W] [--scale N] [--procs N] [--buffer N]\n"
                "  [--mem-cycles N] [--jobs N] [--check-invariants]\n"
-               "  [--no-fast-forward] [--sweep] [--per-lock]\n"
+               "  [--engine des|tick] [--sweep] [--per-lock]\n"
                "  [--trace-out FILE] [--trace-events locks,bus,coherence,"
                "barriers,idle,all]\n"
                "  [--metrics] [--metrics-out FILE.json|.csv] "
@@ -99,6 +102,7 @@ struct Options {
   std::uint32_t mem_cycles = 3;
   std::uint32_t jobs = 0;
   bool check_invariants = false;
+  core::EngineKind engine = core::EngineKind::kDes;
   bool fast_forward = true;
   bool sweep = false;
   bool per_lock = false;
@@ -159,7 +163,23 @@ Options parse(int argc, char** argv) {
       }
     }
     else if (arg == "--check-invariants") opt.check_invariants = true;
-    else if (arg == "--no-fast-forward") opt.fast_forward = false;
+    else if (arg == "--engine") {
+      const std::string name = value();
+      if (name == "des") opt.engine = core::EngineKind::kDes;
+      else if (name == "tick") opt.engine = core::EngineKind::kTick;
+      else {
+        std::cerr << "error: --engine expects \"des\" or \"tick\", got \""
+                  << name << "\"\n";
+        std::exit(2);
+      }
+    }
+    else if (arg == "--no-fast-forward") {
+      // Deprecated alias preserved for scripts: historical per-cycle mode.
+      std::cerr << "note: --no-fast-forward is deprecated; it now selects the "
+                   "legacy tick engine (use --engine des|tick)\n";
+      opt.engine = core::EngineKind::kTick;
+      opt.fast_forward = false;
+    }
     else if (arg == "--trace-out") opt.trace_out = value();
     else if (arg == "--trace-events") {
       try {
@@ -328,6 +348,7 @@ int main(int argc, char** argv) {
   config.cache_bus_buffer_depth = opt.buffer;
   config.memory.access_cycles = opt.mem_cycles;
   config.invariants.enabled = opt.check_invariants;
+  config.engine = opt.engine;
   config.fast_forward = opt.fast_forward;
   // --trace-events without --trace-out still records (the in-memory lock
   // timeline is useful on its own); --trace-out implies recording.
@@ -341,6 +362,12 @@ int main(int argc, char** argv) {
       // Validate the extension up front: fail before the run, not after.
       (void)obs::metrics_format_from_path(opt.metrics_out);
     }
+    // Resolve SYNCPAT_ENGINE / SYNCPAT_FAST_FORWARD up front too: a malformed
+    // value must exit 2 here, not escape from a grid worker thread mid-run.
+    const core::EngineSelection sel =
+        core::resolve_engine_from_env(config.engine, config.fast_forward);
+    config.engine = sel.engine;
+    config.fast_forward = sel.fast_forward;
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -80,6 +80,23 @@ class Bus {
     total_cycles_ += cycles;
   }
 
+  /// Cycles until the current tenure ends (0 when free): the DES core's bus
+  /// completion event is `cycles` ticks away.
+  [[nodiscard]] std::uint32_t busy_remaining() const {
+    return current_ == nullptr ? 0 : remaining_;
+  }
+
+  /// Bulk-advances `cycles` busy cycles in one step (DES span over a held
+  /// bus).  Equivalent to `cycles` calls to tick() that do not finish the
+  /// tenure, so `cycles` must be strictly below busy_remaining().
+  void advance_busy(std::uint64_t cycles) {
+    SYNCPAT_ASSERT(current_ != nullptr);
+    SYNCPAT_ASSERT(cycles < remaining_);
+    total_cycles_ += cycles;
+    busy_cycles_ += cycles;
+    remaining_ -= static_cast<std::uint32_t>(cycles);
+  }
+
   /// Round-robin scan order: returns the port to consider `offset` places
   /// after the last grant.
   [[nodiscard]] std::uint32_t rr_port(std::uint32_t offset) const {

@@ -1,0 +1,325 @@
+// Deterministic event queue for the discrete-event simulator core.
+//
+// A calendar queue over a fixed set of event sources (one slot per
+// processor).  Each source holds at most one scheduled cycle at a time;
+// re-scheduling a present source moves its entry.  Ordering is total and
+// deterministic: entries compare by (cycle, source id), so two sources due on
+// the same cycle always pop in ascending id order — the same order the
+// per-cycle tick loop visits processors — regardless of the history of
+// schedule/cancel operations that built the queue.
+//
+// Layout: cycles within a kWindow-wide ring of per-cycle buckets are stored
+// as source bitmasks (schedule/cancel are single bit flips, and scanning a
+// bucket's set bits from the bottom yields the id tie-break for free); the
+// rare entry outside the window lives in a separate far bitmask whose keys
+// are compared by value.  This keeps the simulator's hot path — a handful of
+// schedules and pops per stepped cycle, almost all within a few cycles of
+// now — free of pointer chasing and sift loops.
+//
+// A monotone floor guards against scheduling into the past (the classic DES
+// causality bug): set_floor() advances with the simulation clock and
+// schedule() below it is a hard assertion failure.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace syncpat::core {
+
+class EventQueue {
+ public:
+  static constexpr std::uint32_t kNpos = ~0u;
+
+  explicit EventQueue(std::uint32_t num_sources)
+      : words_((num_sources + 63) / 64),
+        key_(num_sources, kAbsent),
+        ring_(static_cast<std::size_t>(kWindow) * words_, 0),
+        far_(words_, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool contains(std::uint32_t source) const {
+    return key_[source] != kAbsent;
+  }
+  /// Scheduled cycle of a present source.
+  [[nodiscard]] std::uint64_t key_of(std::uint32_t source) const {
+    SYNCPAT_ASSERT(contains(source));
+    return key_[source];
+  }
+
+  /// Earliest scheduled cycle.  Precondition: !empty().
+  [[nodiscard]] std::uint64_t min_key() const { return peek().first; }
+  /// Source holding the earliest cycle (lowest id among ties).
+  [[nodiscard]] std::uint32_t min_source() const { return peek().second; }
+
+  /// Raises the causality floor; never lowers it.  schedule() below the
+  /// floor is a scheduling-into-the-past bug and asserts.
+  void set_floor(std::uint64_t cycle) {
+    if (cycle <= floor_) return;
+    // Ring buckets that fall behind the new floor keep their original keys
+    // but move to the far set (min scans compare far keys by value, so a
+    // straggler still pops in correct order).
+    if (near_count_ > 0) {
+      const std::uint64_t hi =
+          cycle - floor_ < kWindow ? cycle : floor_ + kWindow;
+      // Rotate the occupancy mask so the floor's bucket is bit 0, mask it to
+      // the overtaken range, and visit only the occupied buckets.
+      const auto base = static_cast<std::uint32_t>(floor_ % kWindow);
+      std::uint64_t rot = std::rotr(occ_, static_cast<int>(base));
+      if (hi - floor_ < kWindow) rot &= (1ull << (hi - floor_)) - 1;
+      while (rot != 0) {
+        const std::uint64_t c =
+            floor_ + static_cast<std::uint32_t>(std::countr_zero(rot));
+        rot &= rot - 1;
+        std::uint64_t* bkt = bucket(c);
+        for (std::uint32_t w = 0; w < words_; ++w) {
+          if (bkt[w] == 0) continue;
+          near_count_ -= static_cast<std::uint32_t>(std::popcount(bkt[w]));
+          far_count_ += static_cast<std::uint32_t>(std::popcount(bkt[w]));
+          far_[w] |= bkt[w];
+          bkt[w] = 0;
+        }
+        occ_ &= ~(1ull << (c % kWindow));
+      }
+    }
+    floor_ = cycle;
+    // Far entries that the advancing window has reached come into the ring.
+    if (far_count_ > 0) {
+      for (std::uint32_t w = 0; w < words_ && far_count_ > 0; ++w) {
+        std::uint64_t bits = far_[w];
+        while (bits != 0) {
+          const auto b = static_cast<std::uint32_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const std::uint32_t s = w * 64 + b;
+          if (key_[s] >= floor_ && key_[s] - floor_ < kWindow) {
+            far_[w] &= ~(1ull << b);
+            --far_count_;
+            bucket(key_[s])[w] |= 1ull << b;
+            occ_ |= 1ull << (key_[s] % kWindow);
+            ++near_count_;
+          }
+        }
+      }
+    }
+  }
+  [[nodiscard]] std::uint64_t floor() const { return floor_; }
+
+  /// Inserts `source` at `cycle`, or moves it there if already present.
+  void schedule(std::uint32_t source, std::uint64_t cycle) {
+    SYNCPAT_ASSERT_MSG(cycle >= floor_,
+                       "event scheduled into the past (below the queue floor)");
+    if (key_[source] == cycle) return;
+    if (key_[source] != kAbsent) clear_bit(source);
+    key_[source] = cycle;
+    const std::uint32_t w = source / 64;
+    const std::uint64_t bit = 1ull << (source % 64);
+    if (cycle - floor_ < kWindow) {
+      bucket(cycle)[w] |= bit;
+      occ_ |= 1ull << (cycle % kWindow);
+      ++near_count_;
+    } else {
+      far_[w] |= bit;
+      ++far_count_;
+    }
+    ++size_;
+  }
+
+  /// Removes `source` if present; no-op otherwise.
+  void cancel(std::uint32_t source) {
+    if (key_[source] == kAbsent) return;
+    clear_bit(source);
+    key_[source] = kAbsent;
+  }
+
+  /// Removes every entry scheduled at or before `cycle`, OR-ing their source
+  /// bits into `out` ((num_sources+63)/64 words).  One bucket read replaces a
+  /// min-scan per pop — the simulator's per-event-cycle drain.
+  void take_due(std::uint64_t cycle, std::uint64_t* out) {
+    if (near_count_ > 0 && cycle >= floor_) {
+      const std::uint64_t hi =
+          cycle - floor_ < kWindow - 1 ? cycle : floor_ + kWindow - 1;
+      for (std::uint64_t c = floor_; c <= hi && near_count_ > 0; ++c) {
+        if ((occ_ & (1ull << (c % kWindow))) == 0) continue;
+        std::uint64_t* bkt = bucket(c);
+        for (std::uint32_t w = 0; w < words_; ++w) {
+          std::uint64_t bits = bkt[w];
+          if (bits == 0) continue;
+          out[w] |= bits;
+          bkt[w] = 0;
+          const auto n = static_cast<std::uint32_t>(std::popcount(bits));
+          near_count_ -= n;
+          size_ -= n;
+          while (bits != 0) {
+            key_[w * 64 + static_cast<std::uint32_t>(std::countr_zero(bits))] =
+                kAbsent;
+            bits &= bits - 1;
+          }
+        }
+        occ_ &= ~(1ull << (c % kWindow));
+      }
+    }
+    // Far stragglers (keys that fell behind the floor, or a window-sized
+    // jump): compared by value; never hit on the simulator's hot path.
+    if (far_count_ > 0) {
+      for (std::uint32_t w = 0; w < words_; ++w) {
+        std::uint64_t bits = far_[w];
+        while (bits != 0) {
+          const auto b = static_cast<std::uint32_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const std::uint32_t s = w * 64 + b;
+          if (key_[s] <= cycle) {
+            far_[w] &= ~(1ull << b);
+            --far_count_;
+            --size_;
+            key_[s] = kAbsent;
+            out[w] |= 1ull << b;
+          }
+        }
+      }
+    }
+  }
+
+  /// Removes and returns the earliest source.  Precondition: !empty().
+  std::uint32_t pop_min() {
+    const std::uint32_t source = peek().second;
+    clear_bit(source);
+    key_[source] = kAbsent;
+    return source;
+  }
+
+  /// Structural check for tests: every present source's bit sits in exactly
+  /// the structure its key and the floor dictate, with no strays and
+  /// matching counts.
+  [[nodiscard]] bool validate() const {
+    std::uint32_t present = 0;
+    for (std::uint32_t s = 0; s < key_.size(); ++s) {
+      const std::uint32_t w = s / 64;
+      const std::uint64_t bit = 1ull << (s % 64);
+      const bool in_far = (far_[w] & bit) != 0;
+      if (key_[s] == kAbsent) {
+        if (in_far) return false;
+        for (std::uint32_t c = 0; c < kWindow; ++c) {
+          if ((ring_[static_cast<std::size_t>(c) * words_ + w] & bit) != 0)
+            return false;
+        }
+        continue;
+      }
+      ++present;
+      const bool in_window = key_[s] >= floor_ && key_[s] - floor_ < kWindow;
+      if (in_window == in_far) return false;
+      for (std::uint32_t c = 0; c < kWindow; ++c) {
+        const bool set =
+            (ring_[static_cast<std::size_t>(c) * words_ + w] & bit) != 0;
+        const bool expect = in_window && c == key_[s] % kWindow;
+        if (set != expect) return false;
+      }
+    }
+    for (std::uint32_t c = 0; c < kWindow; ++c) {
+      bool any = false;
+      for (std::uint32_t w = 0; w < words_; ++w) {
+        any = any || ring_[static_cast<std::size_t>(c) * words_ + w] != 0;
+      }
+      if (any != ((occ_ & (1ull << c)) != 0)) return false;
+    }
+    std::uint32_t near = 0;
+    std::uint32_t far = 0;
+    for (const std::uint64_t word : ring_) {
+      near += static_cast<std::uint32_t>(std::popcount(word));
+    }
+    for (const std::uint64_t word : far_) {
+      far += static_cast<std::uint32_t>(std::popcount(word));
+    }
+    return present == size_ && near == near_count_ && far == far_count_ &&
+           near + far == size_;
+  }
+
+ private:
+  static constexpr std::uint32_t kWindow = 64;
+  static constexpr std::uint64_t kAbsent = ~0ull;
+
+  [[nodiscard]] std::uint64_t* bucket(std::uint64_t cycle) {
+    return &ring_[static_cast<std::size_t>(cycle % kWindow) * words_];
+  }
+  [[nodiscard]] const std::uint64_t* bucket(std::uint64_t cycle) const {
+    return &ring_[static_cast<std::size_t>(cycle % kWindow) * words_];
+  }
+
+  /// (key, source) of the earliest entry.  Precondition: !empty().
+  [[nodiscard]] std::pair<std::uint64_t, std::uint32_t> peek() const {
+    SYNCPAT_ASSERT(size_ > 0);
+    std::uint64_t best_key = kAbsent;
+    std::uint32_t best_src = kNpos;
+    if (far_count_ > 0) {
+      // Scan in id order with a strict compare: the lowest id wins each key.
+      for (std::uint32_t w = 0; w < words_; ++w) {
+        std::uint64_t bits = far_[w];
+        while (bits != 0) {
+          const auto b = static_cast<std::uint32_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const std::uint32_t s = w * 64 + b;
+          if (key_[s] < best_key) {
+            best_key = key_[s];
+            best_src = s;
+          }
+        }
+      }
+    }
+    if (near_count_ > 0) {
+      // The occupancy mask names the first nonempty bucket at or after the
+      // floor directly: rotate so the floor's bucket is bit 0 and count
+      // trailing zeros — one probe, no bucket scan.
+      const auto base = static_cast<std::uint32_t>(floor_ % kWindow);
+      const std::uint64_t rot = std::rotr(occ_, static_cast<int>(base));
+      const std::uint64_t c =
+          floor_ + static_cast<std::uint32_t>(std::countr_zero(rot));
+      if (c < best_key) {
+        const std::uint64_t* bkt = bucket(c);
+        for (std::uint32_t w = 0; w < words_; ++w) {
+          if (bkt[w] == 0) continue;
+          best_key = c;
+          best_src =
+              w * 64 + static_cast<std::uint32_t>(std::countr_zero(bkt[w]));
+          break;
+        }
+      }
+    }
+    return {best_key, best_src};
+  }
+
+  void clear_bit(std::uint32_t source) {
+    const std::uint32_t w = source / 64;
+    const std::uint64_t bit = 1ull << (source % 64);
+    if ((far_[w] & bit) != 0) {
+      far_[w] &= ~bit;
+      --far_count_;
+    } else {
+      std::uint64_t* bkt = bucket(key_[source]);
+      bkt[w] &= ~bit;
+      --near_count_;
+      bool bucket_empty = true;
+      for (std::uint32_t i = 0; i < words_; ++i) {
+        if (bkt[i] != 0) {
+          bucket_empty = false;
+          break;
+        }
+      }
+      if (bucket_empty) occ_ &= ~(1ull << (key_[source] % kWindow));
+    }
+    --size_;
+  }
+
+  std::uint32_t words_;               // bitmask words per bucket
+  std::uint32_t size_ = 0;            // present sources
+  std::uint32_t near_count_ = 0;      // entries inside [floor, floor+kWindow)
+  std::uint32_t far_count_ = 0;       // entries outside the window
+  std::vector<std::uint64_t> key_;    // source -> scheduled cycle (kAbsent)
+  std::vector<std::uint64_t> ring_;   // kWindow buckets × words_ bitmasks
+  std::vector<std::uint64_t> far_;    // out-of-window source bitmask
+  std::uint64_t occ_ = 0;             // bit c%kWindow set <=> bucket nonempty
+  std::uint64_t floor_ = 0;
+};
+
+}  // namespace syncpat::core

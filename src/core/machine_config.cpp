@@ -1,8 +1,75 @@
 #include "core/machine_config.hpp"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/parse.hpp"
 
 namespace syncpat::core {
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kDes: return "des";
+    case EngineKind::kTick: return "tick";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] EngineKind parse_engine(const char* text) {
+  if (std::strcmp(text, "des") == 0) return EngineKind::kDes;
+  if (std::strcmp(text, "tick") == 0) return EngineKind::kTick;
+  throw std::invalid_argument(std::string("SYNCPAT_ENGINE expects \"des\" or "
+                                          "\"tick\", got \"") +
+                              text + "\"");
+}
+
+}  // namespace
+
+EngineSelection resolve_engine(EngineKind config_engine,
+                               bool config_fast_forward,
+                               const char* engine_env, const char* ff_env) {
+  EngineSelection sel;
+  sel.engine = config_engine;
+  sel.fast_forward = config_fast_forward;
+  // Parse both strictly even when SYNCPAT_ENGINE wins: a malformed value in
+  // either variable is a configuration error, never silently ignored.
+  if (ff_env != nullptr) {
+    const bool ff = util::parse_bool01(ff_env, "SYNCPAT_FAST_FORWARD");
+    sel.fast_forward = ff;
+    if (engine_env == nullptr) {
+      // Deprecated alias: both values meant the per-cycle tick engine, with
+      // and without its quiescence run-ahead.
+      sel.engine = EngineKind::kTick;
+      sel.from_deprecated_ff = true;
+    }
+  }
+  if (engine_env != nullptr) sel.engine = parse_engine(engine_env);
+  return sel;
+}
+
+EngineSelection resolve_engine_from_env(EngineKind config_engine,
+                                        bool config_fast_forward) {
+  const EngineSelection sel =
+      resolve_engine(config_engine, config_fast_forward,
+                     std::getenv("SYNCPAT_ENGINE"),
+                     std::getenv("SYNCPAT_FAST_FORWARD"));
+  if (sel.from_deprecated_ff) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "note: SYNCPAT_FAST_FORWARD is deprecated; it now selects "
+                   "the legacy tick engine (use SYNCPAT_ENGINE=des|tick)\n");
+    }
+  }
+  return sel;
+}
 
 std::string MachineConfig::describe() const {
   std::ostringstream out;
@@ -25,7 +92,11 @@ std::string MachineConfig::describe() const {
       << " (line over bus) = "
       << 1 + memory.access_cycles + line_transfer_cycles() << " stall cycles\n"
       << "  consistency model   : " << bus::consistency_name(consistency) << "\n"
-      << "  lock scheme         : " << sync::scheme_kind_name(lock_scheme) << "\n";
+      << "  lock scheme         : " << sync::scheme_kind_name(lock_scheme) << "\n"
+      << "  execution engine    : " << engine_name(engine)
+      << (engine == EngineKind::kDes ? " (discrete-event core)"
+                                     : " (legacy per-cycle loop)")
+      << "\n";
   return out.str();
 }
 

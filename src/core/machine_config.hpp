@@ -19,6 +19,47 @@
 
 namespace syncpat::core {
 
+/// Execution engine for Simulator::run().
+///   * kDes (default): the discrete-event core — a deterministic queue of
+///     next-action times; cycles where nothing can happen are bulk-advanced.
+///     Byte-identical to per-cycle ticking (the 28-config differential suite
+///     and fuzz oracle #7 enforce it).
+///   * kTick: the legacy per-cycle loop, kept for one release as the
+///     differential reference (with its optional quiescence run-ahead, see
+///     `fast_forward` below).
+enum class EngineKind : std::uint8_t { kDes, kTick };
+
+[[nodiscard]] const char* engine_name(EngineKind kind);
+
+/// Outcome of resolving the engine from config + environment.
+struct EngineSelection {
+  EngineKind engine = EngineKind::kDes;
+  bool fast_forward = true;  // tick engine only: quiescence run-ahead on/off
+  /// The deprecated SYNCPAT_FAST_FORWARD alias decided the engine.
+  bool from_deprecated_ff = false;
+};
+
+/// Resolves the execution engine from the config values and the environment
+/// strings (pass nullptr for unset).  Strict parsing throughout:
+///   * `engine_env` (SYNCPAT_ENGINE) accepts exactly "des" or "tick";
+///   * `ff_env` (SYNCPAT_FAST_FORWARD, deprecated) accepts exactly "0"/"1"
+///     via util::parse_bool01 and maps onto the tick engine ("0" = per-cycle,
+///     "1" = with quiescence run-ahead), preserving its historical meaning;
+///   * anything else throws std::invalid_argument.
+/// SYNCPAT_ENGINE wins when both are set (ff_env then only toggles the tick
+/// engine's run-ahead).  The invariant checker overrides the result inside
+/// the simulator (it must observe every cycle, so it forces per-cycle tick).
+[[nodiscard]] EngineSelection resolve_engine(EngineKind config_engine,
+                                             bool config_fast_forward,
+                                             const char* engine_env,
+                                             const char* ff_env);
+
+/// resolve_engine over the live SYNCPAT_ENGINE / SYNCPAT_FAST_FORWARD
+/// environment, emitting a once-per-process deprecation note on stderr when
+/// the SYNCPAT_FAST_FORWARD alias decides the engine.
+[[nodiscard]] EngineSelection resolve_engine_from_env(EngineKind config_engine,
+                                                      bool config_fast_forward);
+
 /// Opt-in runtime invariant checking (see core/invariant_checker.hpp).
 /// Compiled in unconditionally; a disabled checker costs one branch per
 /// cycle, so benches pay nothing.
@@ -54,13 +95,18 @@ struct MachineConfig {
   /// byte-identical to disabled ones (fuzz oracle #6 proves it).
   obs::MetricsConfig metrics;
 
-  /// Quiescence-aware fast-forward (on by default): when no transaction
-  /// exists anywhere in the machine, Simulator::run() jumps the cycle counter
-  /// to the next statically-known event and bulk-accounts the skipped cycles,
-  /// producing byte-identical results to per-cycle stepping at a fraction of
-  /// the wall time.  Forced off while the invariant checker is enabled (it
-  /// validates per cycle) and by the SYNCPAT_FAST_FORWARD=0 escape hatch;
-  /// SYNCPAT_FAST_FORWARD=1 forces it on over a `false` here.
+  /// Execution engine (see EngineKind).  Overridable by SYNCPAT_ENGINE
+  /// ("des"/"tick", strict) and, deprecated, by SYNCPAT_FAST_FORWARD
+  /// ("0"/"1", both selecting the tick engine).  The invariant checker
+  /// forces per-cycle tick regardless (it validates every cycle).
+  EngineKind engine = EngineKind::kDes;
+
+  /// Tick engine only: quiescence-aware run-ahead (the pre-DES fast path).
+  /// When no transaction exists anywhere in the machine, Simulator::run()
+  /// jumps the cycle counter to the next statically-known event and
+  /// bulk-accounts the skipped cycles, producing byte-identical results to
+  /// per-cycle stepping.  Ignored by the DES engine, which makes event jumps
+  /// its normal execution mode.
   bool fast_forward = true;
 
   /// Hard simulation bound; exceeded means a deadlock or runaway workload.

@@ -222,6 +222,56 @@ void Processor::skip_cycles(std::uint64_t cycles) {
   }
 }
 
+void Processor::settle(std::uint64_t cycles, std::uint64_t through_cycle) {
+  ticked_cycle_ = through_cycle;
+  switch (state_) {
+    case ProcState::kRunning:
+      // Mirrors tick()'s gap countdown; the issuing tick itself always runs
+      // live (the DES core schedules it as this processor's due event).
+      SYNCPAT_ASSERT(gap_left_ > cycles);
+      stats_.work_cycles += cycles;
+      gap_left_ -= static_cast<std::uint32_t>(cycles);
+      if (mx_ != nullptr) {
+        mx_->attr.charge(obs::StallCat::kCompute, cycles);
+        resume_cat_ = obs::StallCat::kCompute;
+      }
+      break;
+    case ProcState::kWaitMem: {
+      // Mirrors count_stall_cycle(): the wait's classification is frozen
+      // between machine events (the simulator settles before every phase
+      // change of wait_txn_, and the one un-touched transition — memory
+      // service to memory output — maps to the same category).
+      if (wait_cause_ == StallCause::kLockWait) {
+        stats_.stall_lock += cycles;
+      } else {
+        stats_.stall_cache += cycles;
+      }
+      if (mx_ != nullptr) {
+        const obs::StallCat cat = classify_wait_cycle();
+        mx_->attr.charge(cat, cycles);
+        resume_cat_ = cat;
+      }
+      break;
+    }
+    case ProcState::kSpin:
+    case ProcState::kWaitLock: {
+      stats_.stall_lock += cycles;
+      if (mx_ != nullptr) {
+        const obs::StallCat cat = classify_wait_cycle();
+        mx_->attr.charge(cat, cycles);
+        resume_cat_ = cat;
+      }
+      break;
+    }
+    case ProcState::kDone:
+      SYNCPAT_ASSERT(pending_.empty());
+      break;
+    case ProcState::kStallStructural:
+    case ProcState::kWaitFence:
+      SYNCPAT_ASSERT_MSG(false, "settle on a never-lazy processor state");
+  }
+}
+
 bool Processor::fence_pending() const {
   return !iface_.empty() || !pending_.empty() ||
          sim_.outstanding_fence(id_) > 0;

@@ -133,6 +133,48 @@ class Processor {
   /// and `cycles` < cycles_until_next_event().
   void skip_cycles(std::uint64_t cycles);
 
+  // --- discrete-event core -------------------------------------------------
+
+  /// True when no transaction waits to drain into the bus interface.
+  [[nodiscard]] bool pending_empty() const { return pending_.empty(); }
+
+  /// Cycles until this processor's next tick() can do anything beyond the
+  /// per-cycle bookkeeping that settle() reproduces in bulk, from its own
+  /// state alone (the DES core layers machine events — completions,
+  /// invalidations, timers — on top and re-schedules at each one):
+  ///   * pending transactions to drain: 1 (every tick drains);
+  ///   * kRunning: the issuing tick, gap_left_ away (1 at gap 0);
+  ///   * kStallStructural / kWaitFence: 1 — these re-examine machine state
+  ///     every tick and are never settled lazily;
+  ///   * kWaitMem / kWaitLock / kSpin / kDone: kNever — pure stall counting
+  ///     (or nothing) until an external event arrives.  The caller applies
+  ///     the scheme's spinner veto on top for kSpin.
+  /// Inline: the DES core calls this for every processor it re-schedules.
+  [[nodiscard]] std::uint64_t next_due_delta() const {
+    if (!pending_.empty()) return 1;
+    switch (state_) {
+      case ProcState::kRunning:
+        return gap_left_ > 0 ? gap_left_ : 1;
+      case ProcState::kStallStructural:
+      case ProcState::kWaitFence:
+        return 1;
+      case ProcState::kWaitMem:
+      case ProcState::kWaitLock:
+      case ProcState::kSpin:
+      case ProcState::kDone:
+        return kNever;
+    }
+    return 1;
+  }
+
+  /// Bulk-accounts `cycles` un-ticked cycles ending at `through_cycle`
+  /// exactly as that many tick() calls would, given that nothing external
+  /// touched this processor over the span (the DES core settles before every
+  /// mutation).  Also stamps ticked_cycle_ = through_cycle so the
+  /// end-of-trace wake attribution in advance_after_event() sees the same
+  /// pre-tick/post-tick distinction as per-cycle execution.
+  void settle(std::uint64_t cycles, std::uint64_t through_cycle);
+
  private:
   enum class WaitMode : std::uint8_t {
     kRefSatisfied,  // completion satisfies the current event; advance

@@ -1,6 +1,7 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 
@@ -10,16 +11,6 @@
 namespace syncpat::core {
 
 namespace {
-
-/// Resolves the fast-forward switch: SYNCPAT_FAST_FORWARD=0 forces per-cycle
-/// stepping, any other set value forces fast-forward, unset keeps the config
-/// value.  The invariant checker overrides all of this (it must observe every
-/// cycle), handled by the caller.
-[[nodiscard]] bool fast_forward_from_env(bool config_value) {
-  const char* env = std::getenv("SYNCPAT_FAST_FORWARD");
-  if (env == nullptr) return config_value;
-  return std::strcmp(env, "0") != 0;
-}
 
 [[nodiscard]] bool is_fifo_scheme(sync::SchemeKind kind) {
   // Schemes whose grant order must follow the bus order of the initial
@@ -44,7 +35,8 @@ Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
           .ports = static_cast<std::uint32_t>(program.num_procs()) + 1,
           .request_cycles = 1,
           .data_cycles = config.line_transfer_cycles()}),
-      memory_(config.memory) {
+      memory_(config.memory),
+      des_due_(static_cast<std::uint32_t>(program.num_procs())) {
   SYNCPAT_ASSERT(program.num_procs() > 0);
   program.reset_all();
   const auto nprocs = static_cast<std::uint32_t>(program.num_procs());
@@ -84,11 +76,23 @@ Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
       (recorder_ != nullptr && recorder_->wants(obs::category::kBus))) {
     bus_.set_observer(this);
   }
-  ff_enabled_ = fast_forward_from_env(cfg_.fast_forward) && checker_ == nullptr;
+  EngineSelection sel = resolve_engine_from_env(cfg_.engine, cfg_.fast_forward);
+  if (checker_ != nullptr) {
+    // The checker observes every cycle: force the per-cycle tick loop.
+    sel.engine = EngineKind::kTick;
+    sel.fast_forward = false;
+  }
+  engine_ = sel.engine;
+  ff_enabled_ = engine_ == EngineKind::kTick && sel.fast_forward;
   ff_stats_.enabled = ff_enabled_;
+  des_stats_.enabled = engine_ == EngineKind::kDes;
   ff_next_issue_.resize(nprocs);
   ff_acct_.resize(nprocs);
   ff_due_.reserve(nprocs);
+  des_acct_.assign(nprocs, 0);
+  des_words_ = (nprocs + 63) / 64;
+  des_due_now_.assign(des_words_, 0);
+  des_dirty_.assign(des_words_, 0);
   for (std::uint32_t p = 0; p < nprocs; ++p) {
     procs_.push_back(std::make_unique<Processor>(
         p, *program.per_proc[p], *caches_[p], *ifaces_[p], *this));
@@ -104,7 +108,9 @@ bool Simulator::all_done() const {
 }
 
 SimulationResult Simulator::run() {
-  if (self_prof_ != nullptr) {
+  if (engine_ == EngineKind::kDes) {
+    run_des();  // self-times into Phase::kEventLoop when a profiler is attached
+  } else if (self_prof_ != nullptr) {
     run_loop_profiled();
   } else if (ff_enabled_) {
     while (!all_done()) {
@@ -350,11 +356,7 @@ void Simulator::fast_forward() {
   }
 }
 
-void Simulator::step() {
-  ++cycle_;
-  SYNCPAT_ASSERT_MSG(cycle_ <= cfg_.max_cycles,
-                     "simulation exceeded max_cycles (runaway or deadlock)");
-
+void Simulator::pre_proc_phases() {
   // 1. Fills that were waiting for a cache way.  The list is swapped into a
   // member scratch buffer and rebuilt in place (capacities ping-pong between
   // the two vectors), so the steady state allocates nothing; finalize() can
@@ -402,6 +404,15 @@ void Simulator::step() {
     });
     for (const Timer& t : timers_due_) scheme_->on_timer(t.proc, t.line_addr);
   }
+}
+
+void Simulator::step() {
+  ++cycle_;
+  SYNCPAT_ASSERT_MSG(cycle_ <= cfg_.max_cycles,
+                     "simulation exceeded max_cycles (runaway or deadlock)");
+
+  // 1-2b. Deferred fills, memory, backoff timers.
+  pre_proc_phases();
 
   // 3. Processors.
   for (auto& proc : procs_) proc->tick();
@@ -459,6 +470,226 @@ void Simulator::check_progress() {
     }
     SYNCPAT_ASSERT_MSG(false, "no simulation progress for 500k cycles");
   }
+}
+
+// --------------------------------------------------------------------------
+// Discrete-event core
+//
+// The DES engine runs the same five-phase cycle as step(), but only on
+// cycles where something can happen (an "event cycle"), bulk-advancing the
+// clock across the gaps.  Two mechanisms make this byte-identical to
+// per-cycle ticking:
+//
+//   * The event-cycle set is conservative: des_next_event() includes every
+//     cycle at which any phase of step() could act — processor due times
+//     from the queue (issuing ticks, pending-buffer drains, fence/structural
+//     re-checks every cycle), deferred fills, the memory module's next state
+//     change, waiting memory responses, the bus tenure end, arbitration
+//     opportunities while requests are queued, and backoff timers.  On every
+//     other cycle, step() provably reduces to per-cycle bookkeeping.
+//
+//   * That bookkeeping is settled lazily, per processor: a processor whose
+//     tick only counts a stall cycle (kWaitMem / kWaitLock / kSpin with the
+//     scheme's consent) or does nothing (kDone) is parked out of the queue,
+//     and its un-ticked cycles are booked in bulk — in its pre-mutation
+//     state, with tick()'s exact accounting — the moment anything touches it
+//     (des_touch at the top of every mutating service).  The settle boundary
+//     tracks step()'s phase order, so a wake in phases 1-2b still yields the
+//     same phase-3 tick this cycle, and a wake in phases 4-5 books this
+//     cycle's stall exactly as the already-passed phase-3 tick would have.
+//
+// The bus and memory module advance in bulk over the gaps (their per-cycle
+// work between events is pure busy/total accounting), so utilization
+// denominators and busy counters match per-cycle ticking exactly.
+
+void Simulator::des_settle(std::uint32_t proc, std::uint64_t through_cycle) {
+  if (des_acct_[proc] >= through_cycle) return;
+  procs_[proc]->settle(through_cycle - des_acct_[proc], through_cycle);
+  des_acct_[proc] = through_cycle;
+}
+
+void Simulator::des_settle_all(std::uint64_t through_cycle) {
+  for (std::uint32_t p = 0; p < procs_.size(); ++p) {
+    des_settle(p, through_cycle);
+  }
+}
+
+void Simulator::des_mark_dirty(std::uint32_t proc) {
+  des_dirty_[proc / 64] |= 1ull << (proc % 64);
+}
+
+void Simulator::des_touch(std::uint32_t proc) {
+  if (!des_active_) return;
+  switch (des_phase_) {
+    case DesPhase::kPreTick:
+      // Before the phase-3 loop: book the pre-mutation stretch, then let the
+      // processor take its regular tick this cycle (per-cycle stepping would
+      // tick it at phase 3 after this mutation).
+      des_settle(proc, cycle_ - 1);
+      des_due_now_[proc / 64] |= 1ull << (proc % 64);
+      break;
+    case DesPhase::kProcTick:
+      if (proc < des_cur_proc_) {
+        // Its phase-3 slot already passed: per-cycle stepping ticked it this
+        // cycle before the mutating processor, in pre-mutation state.
+        des_settle(proc, cycle_);
+      } else if (proc > des_cur_proc_) {
+        // Its slot is still ahead: the loop will tick it post-mutation.
+        des_settle(proc, cycle_ - 1);
+        des_due_now_[proc / 64] |= 1ull << (proc % 64);
+      }
+      // proc == des_cur_proc_: live inside its own tick; nothing to settle.
+      break;
+    case DesPhase::kPostTick:
+      // Phases 4-5: its phase-3 tick this cycle would have seen the
+      // pre-mutation state.
+      des_settle(proc, cycle_);
+      break;
+  }
+  des_mark_dirty(proc);
+}
+
+void Simulator::des_reschedule(std::uint32_t proc) {
+  std::uint64_t delta = procs_[proc]->next_due_delta();
+  if (delta == Processor::kNever &&
+      procs_[proc]->state() == ProcState::kSpin &&
+      !scheme_->spinner_skippable(proc, spin_line_[proc])) {
+    delta = 1;  // scheme vetoes lazy settling: tick this spinner every cycle
+  }
+  if (delta == Processor::kNever) {
+    des_due_.cancel(proc);
+  } else {
+    des_due_.schedule(proc, cycle_ + delta);
+  }
+}
+
+std::uint64_t Simulator::des_next_event() const {
+  std::uint64_t t = des_due_.empty() ? Processor::kNever : des_due_.min_key();
+  if (t <= cycle_ + 1) return cycle_ + 1;
+  if (!fill_retry_.empty()) return cycle_ + 1;
+  if (const std::uint32_t d = memory_.next_event_delta(); d > 0) {
+    if (d == 1) return cycle_ + 1;
+    t = std::min(t, cycle_ + d);
+  }
+  if (bus_.free()) {
+    // A grant can happen at the next arbitration: a stamped memory response
+    // or any queued request makes the very next cycle an event.  (Whether
+    // the grant actually succeeds — line in flight, memory buffer full — is
+    // re-decided there, exactly as per-cycle stepping would.)
+    // Responses and queued requests are transactions, so an empty active_
+    // set rules both out without touching memory or the interfaces.
+    if (!active_.empty()) {
+      if (memory_.pending_response() != nullptr) return cycle_ + 1;
+      for (const auto& iface : ifaces_) {
+        if (!iface->empty()) return cycle_ + 1;
+      }
+    }
+  } else {
+    t = std::min(t, cycle_ + bus_.busy_remaining());
+  }
+  for (const Timer& timer : timers_) t = std::min(t, timer.fire_cycle);
+  return t;
+}
+
+void Simulator::step_des() {
+  ++cycle_;
+  SYNCPAT_ASSERT_MSG(cycle_ <= cfg_.max_cycles,
+                     "simulation exceeded max_cycles (runaway or deadlock)");
+  ++des_stats_.stepped_cycles;
+  des_due_.set_floor(cycle_);
+  des_due_.take_due(cycle_, des_due_now_.data());
+
+  des_phase_ = DesPhase::kPreTick;
+  pre_proc_phases();
+
+  // 3. Processors — only those due this cycle; everyone else's tick would be
+  // pure bookkeeping, settled lazily at their next touch.  Touch hooks only
+  // ever add bits at or above the running processor's id (a lower id's slot
+  // has already passed), so taking the lowest set bit each round preserves
+  // the tick loop's id order.
+  des_phase_ = DesPhase::kProcTick;
+  for (std::uint32_t w = 0; w < des_words_; ++w) {
+    for (;;) {
+      const std::uint64_t bits = des_due_now_[w];
+      if (bits == 0) break;
+      const auto b = static_cast<std::uint32_t>(std::countr_zero(bits));
+      des_due_now_[w] = bits & (bits - 1);
+      const std::uint32_t p = w * 64 + b;
+      des_cur_proc_ = p;
+      des_settle(p, cycle_ - 1);
+      procs_[p]->tick();
+      des_acct_[p] = cycle_;
+      des_mark_dirty(p);
+    }
+  }
+
+  // 4-5. Bus.
+  des_phase_ = DesPhase::kPostTick;
+  arbitrate();
+  if (Transaction* done = bus_.tick()) complete_bus(done);
+
+  // Every processor whose state this cycle touched gets a fresh due entry.
+  for (std::uint32_t w = 0; w < des_words_; ++w) {
+    std::uint64_t bits = des_dirty_[w];
+    des_dirty_[w] = 0;
+    while (bits != 0) {
+      des_reschedule(w * 64 +
+                     static_cast<std::uint32_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+
+  // Watchdog: the tick loop checks on exact kProgressCheckPeriod multiples;
+  // event cycles rarely land on one, so check at the first event cycle at or
+  // past each boundary (the 500k-cycle deadlock threshold is unchanged).
+  if (cycle_ >= des_next_progress_check_) {
+    check_progress();
+    des_next_progress_check_ =
+        (cycle_ & ~(kProgressCheckPeriod - 1)) + kProgressCheckPeriod;
+  }
+}
+
+void Simulator::run_des() {
+  des_active_ = true;
+  for (std::uint32_t p = 0; p < procs_.size(); ++p) {
+    des_acct_[p] = cycle_;
+    des_reschedule(p);
+  }
+  while (!all_done()) {
+    const std::int64_t t0 =
+        self_prof_ != nullptr ? obs::SelfProfiler::now_ns() : 0;
+    std::uint64_t t = des_next_event();
+    if (t == Processor::kNever) {
+      // Genuine deadlock: nothing will ever act again.  Jump to where the
+      // progress watchdog trips and let step_des reach its diagnostic, with
+      // every processor settled so the dump shows accurate counters.
+      des_settle_all(cycle_);
+      t = std::max(cycle_ + 1, last_progress_cycle_ + 500'000);
+    }
+    if (t > cycle_ + 1) {
+      // Advance to one cycle before the event; step_des executes the event
+      // cycle itself.  A runaway trace clamps to max_cycles so the step's
+      // bound assert fires exactly as per-cycle stepping's would.
+      std::uint64_t target = t - 1;
+      if (target > cfg_.max_cycles) target = cfg_.max_cycles;
+      if (const std::uint64_t span = target - cycle_; span > 0) {
+        bus_.free() ? bus_.advance_idle(span) : bus_.advance_busy(span);
+        memory_.advance(span);
+        cycle_ = target;
+        ++des_stats_.spans;
+        des_stats_.span_cycles += span;
+      }
+    }
+    step_des();
+    if (self_prof_ != nullptr) {
+      self_prof_->charge(obs::SelfProfiler::Phase::kEventLoop,
+                         obs::SelfProfiler::now_ns() - t0);
+    }
+  }
+  // Book the final waited cycles of processors parked out of the queue (the
+  // tick loop's last step ticks everyone; ours only ticked the due set).
+  des_settle_all(cycle_);
+  des_active_ = false;
 }
 
 // --------------------------------------------------------------------------
@@ -521,6 +752,9 @@ void Simulator::arbitrate() {
     if (port == ports - 1) {
       Transaction* response = memory_.pending_response();
       if (response == nullptr || response->issued_cycle == cycle_) continue;
+      if (response->requester >= 0) {
+        des_touch(static_cast<std::uint32_t>(response->requester));
+      }
       memory_.pop_response();
       response->phase = TxnPhase::kOnBusResp;
       bus_.granted(port);
@@ -536,6 +770,12 @@ bool Simulator::try_grant(std::uint32_t port) {
   if (txn == nullptr) return false;
   if (txn->issued_cycle == cycle_) return false;
   if (line_inflight_.contains(txn->line_addr)) return false;
+
+  // Settle the requester before the upgrade promotion below: its
+  // coherence_refill stamp changes how waited cycles classify, and the
+  // phase-3 ticks being settled saw the pre-promotion transaction.  (A
+  // failed grant after this point mutates nothing, so the touch is safe.)
+  if (txn->requester >= 0) des_touch(static_cast<std::uint32_t>(txn->requester));
 
   // An upgrade whose line was invalidated while queued becomes a full
   // ownership miss (the write turned into a write miss, §4.1).
@@ -645,6 +885,7 @@ void Simulator::snoop_others(Transaction* txn) {
 }
 
 void Simulator::notify_invalidation(std::uint32_t proc, std::uint32_t line_addr) {
+  des_touch(proc);
   if (metrics_ != nullptr) {
     // Remember the loss; the processor's next miss on this line is charged
     // to invalidation-refill (the marker is consumed there).
@@ -665,6 +906,7 @@ void Simulator::notify_invalidation(std::uint32_t proc, std::uint32_t line_addr)
 // Completion
 
 void Simulator::complete_bus(Transaction* txn) {
+  if (txn->requester >= 0) des_touch(static_cast<std::uint32_t>(txn->requester));
   if (txn->phase == TxnPhase::kOnBusResp) {
     if (!fill_own(txn)) {
       fill_retry_.push_back(txn);
@@ -731,6 +973,7 @@ void Simulator::complete_bus(Transaction* txn) {
 
 bool Simulator::fill_own(Transaction* txn) {
   SYNCPAT_ASSERT(txn->requester >= 0);
+  des_touch(static_cast<std::uint32_t>(txn->requester));
   cache::Cache& cache = *caches_[static_cast<std::uint32_t>(txn->requester)];
   const cache::LineState st = cache.state(txn->line_addr);
   const cache::LineState final_state =
@@ -761,6 +1004,7 @@ bool Simulator::fill_own(Transaction* txn) {
 }
 
 void Simulator::finalize(Transaction* txn) {
+  if (txn->requester >= 0) des_touch(static_cast<std::uint32_t>(txn->requester));
   if (auto it = line_inflight_.find(txn->line_addr);
       it != line_inflight_.end() && it->second == txn) {
     line_inflight_.erase(it);
@@ -820,10 +1064,12 @@ void Simulator::lock_step_complete(std::uint32_t proc, std::uint32_t line_addr,
     ++barriers_completed_;
     for (const BarrierState::Arrival& a : b.waiting) {
       barrier_wait_.add(static_cast<double>(cycle_ - a.cycle));
+      des_touch(a.proc);
       procs_[a.proc]->lock_acquired();
     }
     barrier_wait_.add(0.0);  // the last arriver does not wait
     b.waiting.clear();
+    des_touch(proc);
     procs_[proc]->lock_acquired();
     if (tracing(obs::category::kBarriers)) {
       recorder_->emit(obs::TraceEvent{cycle_, obs::EventKind::kBarrierRelease,
@@ -832,6 +1078,7 @@ void Simulator::lock_step_complete(std::uint32_t proc, std::uint32_t line_addr,
     }
   } else {
     b.waiting.push_back(BarrierState::Arrival{proc, cycle_});
+    des_touch(proc);
     procs_[proc]->enter_lock_wait(/*spinning=*/false, /*barrier=*/true);
   }
 }
@@ -842,6 +1089,7 @@ void Simulator::lock_step_complete(std::uint32_t proc, std::uint32_t line_addr,
 void Simulator::issue_lock_txn(std::uint32_t proc, std::uint32_t line_addr,
                                TxnKind kind, bool forced, StallCause cause,
                                bool stalls, std::uint8_t step) {
+  des_touch(proc);
   Transaction* txn = make_txn(kind, line_addr, static_cast<std::int32_t>(proc),
                               cause, /*fills_line=*/false, /*lock_op=*/true);
   txn->forced_bus = forced;
@@ -855,6 +1103,7 @@ void Simulator::issue_lock_txn(std::uint32_t proc, std::uint32_t line_addr,
 }
 
 void Simulator::issue_handoff(std::uint32_t from_proc, std::uint32_t line_addr) {
+  des_touch(from_proc);
   Transaction* txn =
       make_txn(TxnKind::kHandoff, line_addr,
                static_cast<std::int32_t>(from_proc), StallCause::kNone,
@@ -869,6 +1118,7 @@ cache::LineState Simulator::line_state(std::uint32_t proc,
 
 void Simulator::proc_wait(std::uint32_t proc, bool spinning,
                           std::uint32_t spin_line) {
+  des_touch(proc);
   if (spinning) {
     SYNCPAT_ASSERT_MSG(
         line_state(proc, spin_line) != cache::LineState::kInvalid,
@@ -878,15 +1128,20 @@ void Simulator::proc_wait(std::uint32_t proc, bool spinning,
   procs_[proc]->enter_lock_wait(spinning);
 }
 
-void Simulator::stop_spin(std::uint32_t proc) { spin_line_[proc] = 0; }
+void Simulator::stop_spin(std::uint32_t proc) {
+  des_touch(proc);
+  spin_line_[proc] = 0;
+}
 
 void Simulator::proc_acquired(std::uint32_t proc) {
+  des_touch(proc);
   if (checker_) checker_->on_acquired(proc);
   spin_line_[proc] = 0;
   procs_[proc]->lock_acquired();
 }
 
 void Simulator::proc_release_done(std::uint32_t proc) {
+  des_touch(proc);
   if (checker_) checker_->on_release_done(proc);
   procs_[proc]->lock_release_done();
 }

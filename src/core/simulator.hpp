@@ -22,6 +22,7 @@
 #include "bus/bus.hpp"
 #include "bus/interface.hpp"
 #include "cache/cache.hpp"
+#include "core/event_queue.hpp"
 #include "core/machine_config.hpp"
 #include "core/processor.hpp"
 #include "core/results.hpp"
@@ -52,6 +53,16 @@ struct FastForwardStats {
                                        // the engine on an unproductive window
 };
 
+/// Bookkeeping of the discrete-event core (see run_des()).  Purely
+/// diagnostic, like FastForwardStats: every skipped cycle is bulk-accounted
+/// into the same counters stepping feeds, so results never depend on these.
+struct DesStats {
+  bool enabled = false;
+  std::uint64_t stepped_cycles = 0;  // event cycles executed by step_des()
+  std::uint64_t spans = 0;           // bulk advances between event cycles
+  std::uint64_t span_cycles = 0;     // cycles covered by those advances
+};
+
 class Simulator final : public sync::SchemeServices, public bus::BusObserver {
  public:
   /// The program trace must outlive the simulator; sources are reset on
@@ -62,14 +73,16 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Runs to completion of every processor's trace.  When fast-forward is
-  /// active (config().fast_forward, overridable by SYNCPAT_FAST_FORWARD and
-  /// forced off by the invariant checker), quiescent stretches are jumped in
-  /// one step; results are byte-identical either way.
+  /// Runs to completion of every processor's trace on the resolved engine
+  /// (config().engine, overridable by SYNCPAT_ENGINE / the deprecated
+  /// SYNCPAT_FAST_FORWARD, forced to per-cycle tick by the invariant
+  /// checker).  The DES core, the tick loop, and the tick loop with its
+  /// quiescence run-ahead all produce byte-identical results.
   SimulationResult run();
 
-  /// Single-step interface for tests.  Always advances exactly one cycle;
-  /// fast-forward only ever engages inside run().
+  /// Single-step interface for tests.  Always advances exactly one cycle on
+  /// the per-cycle tick machinery; the DES core and the quiescence run-ahead
+  /// only ever engage inside run().
   void step();
   [[nodiscard]] bool all_done() const;
   [[nodiscard]] SimulationResult collect_results() const;
@@ -82,6 +95,9 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
   [[nodiscard]] const FastForwardStats& fast_forward_stats() const {
     return ff_stats_;
   }
+  [[nodiscard]] const DesStats& des_stats() const { return des_stats_; }
+  /// The engine run() will use (config + environment + checker override).
+  [[nodiscard]] EngineKind engine() const { return engine_; }
 
   // --- SchemeServices ------------------------------------------------------
   [[nodiscard]] std::uint64_t now() const override { return cycle_; }
@@ -189,6 +205,38 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
   void fast_forward();
   /// run()'s main loop with SelfProfiler timestamps around each phase.
   void run_loop_profiled();
+
+  // --- discrete-event core (see run_des()) ---------------------------------
+  /// Phases 1-2b of step(): deferred fills, memory, backoff timers.  Shared
+  /// verbatim between the tick loop and the DES core so the two engines
+  /// cannot drift.
+  void pre_proc_phases();
+  /// The DES main loop: bulk-advance to one cycle before the next event,
+  /// then execute that cycle with step_des().
+  void run_des();
+  /// One event cycle: step()'s phases with phase 3 ticking only due
+  /// processors; every other processor's per-cycle bookkeeping is settled
+  /// lazily at its next touch.
+  void step_des();
+  /// Earliest cycle after cycle_ at which anything in the machine can act:
+  /// the processor due-queue minimum, deferred fills, the memory module's
+  /// next state change, a waiting memory response, the bus tenure end (or
+  /// next arbitration opportunity), and backoff timers.
+  [[nodiscard]] std::uint64_t des_next_event() const;
+  /// Settle-before-mutate hook, called at the top of every service that can
+  /// alter a processor's state, its waiting transaction's classification, or
+  /// its spin registration.  Books the processor's un-ticked cycles in its
+  /// pre-mutation state up to the phase-correct boundary (through cycle_-1
+  /// before its phase-3 slot this cycle, through cycle_ after it), marks it
+  /// due to tick this cycle when its slot is still ahead, and queues it for
+  /// re-scheduling.  No-op outside run_des(); idempotent within a cycle.
+  void des_touch(std::uint32_t proc);
+  void des_settle(std::uint32_t proc, std::uint64_t through_cycle);
+  void des_settle_all(std::uint64_t through_cycle);
+  /// Re-derives a processor's due-queue entry from its current state (with
+  /// the scheme's spinner veto applied on top).
+  void des_reschedule(std::uint32_t proc);
+  void des_mark_dirty(std::uint32_t proc);
   /// Clips the bus gauge at the run's final cycle and stamps the machine
   /// counters.  Only values identical across fast-forward modes belong here
   /// (the export is compared byte-for-byte between them), so ff_stats_ stays
@@ -231,8 +279,33 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
   std::vector<std::uint32_t> spin_line_;        // per proc; 0 = not spinning
   std::vector<std::uint32_t> outstanding_fence_;  // per proc
 
+  EngineKind engine_ = EngineKind::kDes;
   bool ff_enabled_ = false;
   FastForwardStats ff_stats_;
+  DesStats des_stats_;
+
+  // --- discrete-event core state -------------------------------------------
+  /// Touch hooks live only inside run_des(); step() driven by hand (tests)
+  /// and the tick engine leave this false and pay one branch per touch site.
+  bool des_active_ = false;
+  /// Where within the current event cycle the machine stands, deciding the
+  /// settle boundary for touched processors: before the phase-3 tick loop, a
+  /// touched processor has not had this cycle's tick yet (settle through
+  /// cycle_-1 and tick it this cycle); inside the loop it depends on id
+  /// order; after the loop its tick slot has passed (settle through cycle_).
+  enum class DesPhase : std::uint8_t { kPreTick, kProcTick, kPostTick };
+  DesPhase des_phase_ = DesPhase::kPreTick;
+  std::uint32_t des_cur_proc_ = 0;  // phase-3 loop position (kProcTick only)
+  EventQueue des_due_;              // per-processor next self-generated tick
+  std::vector<std::uint64_t> des_acct_;  // cycle through which each processor's
+                                         // per-cycle bookkeeping is applied
+  // Due/dirty sets as source bitmasks ((num_procs+63)/64 words): the event
+  // cycle drains the queue with one bucket read and walks set bits in id
+  // order, which is both the tick loop's processor order and cheap.
+  std::uint32_t des_words_ = 0;
+  std::vector<std::uint64_t> des_due_now_;  // must tick this event cycle
+  std::vector<std::uint64_t> des_dirty_;    // re-schedule at end of cycle
+  std::uint64_t des_next_progress_check_ = kProgressCheckPeriod;
   // Run-ahead scratch (sized once): per-processor absolute cycle of the next
   // issuing tick (Processor::kNever for event-driven waiters) and the cycle
   // through which each processor's quiet bookkeeping is already accounted.

@@ -266,11 +266,13 @@ OracleVerdict run_oracles(const FuzzCase& c, const OracleOptions& opt) {
     }
   }
 
-  // Reference run: per-cycle stepping, invariant checker (optionally) live,
-  // lock tracing on so hand-off/acquire event counts can be conserved against
-  // the stats aggregates.
+  // Reference run: per-cycle tick stepping (pinned explicitly — the config
+  // default is the DES core), invariant checker (optionally) live, lock
+  // tracing on so hand-off/acquire event counts can be conserved against the
+  // stats aggregates.
   core::MachineConfig ref_cfg = base;
   ref_cfg.invariants.enabled = opt.check_invariants;
+  ref_cfg.engine = core::EngineKind::kTick;
   ref_cfg.fast_forward = false;
   ref_cfg.trace.enabled = opt.check_conservation;
   ref_cfg.trace.categories = obs::category::kLocks;
@@ -300,12 +302,27 @@ OracleVerdict run_oracles(const FuzzCase& c, const OracleOptions& opt) {
     check_metrics_conservation(v, ref_sim, ref);
   }
 
+  if (opt.check_engine) {
+    // Differential #7: the discrete-event core vs per-cycle ticking;
+    // checker, tracing and metrics off.  Byte-identity with the reference
+    // run simultaneously proves DES equivalence and that the checker, the
+    // recorder and the metrics registry never perturb a result.
+    core::MachineConfig des_cfg = base;
+    des_cfg.engine = core::EngineKind::kDes;
+    program.reset_all();
+    core::Simulator des_sim(des_cfg, program);
+    const std::string a = render_result(ref);
+    const std::string b = render_result(des_sim.run());
+    if (a != b) {
+      fail(v, "engine",
+           "per-cycle tick vs DES results diverge at " + first_diff(a, b));
+    }
+  }
+
   if (opt.check_fast_forward) {
-    // Differential: fast-forward on; checker, tracing and metrics off.
-    // Byte-identity with the reference run simultaneously proves
-    // fast-forward neutrality and that the checker, the recorder and the
-    // metrics registry never perturb a result.
+    // Differential: tick engine with the quiescence run-ahead on.
     core::MachineConfig ff_cfg = base;
+    ff_cfg.engine = core::EngineKind::kTick;
     ff_cfg.fast_forward = true;
     program.reset_all();
     core::Simulator ff_sim(ff_cfg, program);

@@ -7,8 +7,11 @@
 //   invariants        the runtime invariant checker (MESI coherence, one
 //                     transaction per line, lock mutual exclusion, FIFO
 //                     hand-off) reports zero violations;
-//   fast-forward      fast-forward on and off produce byte-identical
-//                     SimulationResults (render_result string equality);
+//   engine            the discrete-event core and per-cycle tick stepping
+//                     produce byte-identical SimulationResults
+//                     (render_result string equality);
+//   fast-forward      the tick engine with and without its quiescence
+//                     run-ahead produces byte-identical SimulationResults;
 //   jobs              the experiment engine returns byte-identical cell
 //                     results with 1 worker and with N workers;
 //   trace-roundtrip   a generated trace survives save -> load -> save with
@@ -42,6 +45,7 @@ namespace syncpat::fuzz {
 
 struct OracleOptions {
   bool check_invariants = true;
+  bool check_engine = true;
   bool check_fast_forward = true;
   bool check_jobs = true;
   bool check_trace_roundtrip = true;

@@ -61,6 +61,29 @@ class Memory {
     out.swap(absorbed_);
   }
 
+  /// Cycles until this module next changes externally-visible state, or 0
+  /// when it never will on its own (no access in service, nothing queued):
+  /// an active access completes (or retries a full output buffer) in
+  /// `remaining_` cycles; a queued request starts service on the next tick.
+  [[nodiscard]] std::uint32_t next_event_delta() const {
+    if (active_ != nullptr) return remaining_;
+    return input_.empty() ? 0 : 1;
+  }
+
+  /// Bulk-advances `cycles` ticks of an active access in one step (DES span).
+  /// Equivalent to `cycles` calls to tick() that neither start nor finish an
+  /// access, so `cycles` must be strictly below next_event_delta().  With the
+  /// module idle and drained this is a no-op (idle ticks change nothing).
+  void advance(std::uint64_t cycles) {
+    if (active_ == nullptr) {
+      SYNCPAT_ASSERT(input_.empty());
+      return;
+    }
+    SYNCPAT_ASSERT(cycles < remaining_);
+    busy_cycles_ += cycles;
+    remaining_ -= static_cast<std::uint32_t>(cycles);
+  }
+
   [[nodiscard]] bool idle() const { return active_ == nullptr && input_.empty(); }
   /// Quiescence predicate for the fast-forward engine: no access in service
   /// and every buffer empty, so idle cycles cannot change module state.

@@ -13,6 +13,7 @@ const char* SelfProfiler::phase_name(Phase p) {
     case Phase::kFastForward: return "fast_forward";
     case Phase::kInvariantCheck: return "invariant_check";
     case Phase::kTraceEmit: return "trace_emit";
+    case Phase::kEventLoop: return "event_loop";
   }
   return "?";
 }

@@ -29,8 +29,9 @@ class SelfProfiler {
     kFastForward,       // fast_forward() calls that skipped ahead
     kInvariantCheck,    // invariant checker per-cycle and end-of-run sweeps
     kTraceEmit,         // event recorder flush / sink finalization
+    kEventLoop,         // Simulator::run_des() — the discrete-event core
   };
-  static constexpr std::size_t kNumPhases = 5;
+  static constexpr std::size_t kNumPhases = 6;
 
   [[nodiscard]] static const char* phase_name(Phase p);
 

@@ -142,4 +142,72 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Repeated geometric draws at a fixed p, bit-identical to
+/// Rng::geometric_from_log(log1m_p) but without a libm call per draw.
+///
+/// geometric_from_log maps u = (next_u64() >> 11) * 2^-53 to
+/// floor(log1p(-u) / log1m_p), which is a monotone non-decreasing step
+/// function of the 53-bit integer n = next_u64() >> 11.  The constructor
+/// binary-searches the exact n at which the result steps from k to k+1 for
+/// the first kTable values, so a draw is one next_u64() plus a short integer
+/// scan.  Draws that land past the table (probability (1-p)^kTable) fall
+/// back to the original formula on the same n, so every draw consumes
+/// exactly one next_u64() and yields exactly the value the formula would.
+///
+/// When p is so small that most draws would overrun the table (mean gap
+/// beyond ~tens of cycles), the table is skipped entirely and every draw
+/// uses the formula — same results, and those profiles draw rarely anyway.
+class GeometricSampler {
+ public:
+  GeometricSampler() = default;
+
+  explicit GeometricSampler(double log1m_p) : log1m_p_(log1m_p) {
+    SYNCPAT_ASSERT(log1m_p < 0.0);
+    // Worthwhile only if at least half the draws resolve inside the table.
+    use_table_ = static_cast<double>(kTable) * log1m_p < kLnHalf;
+    if (!use_table_) return;
+    std::uint64_t lo = 0;
+    for (std::uint32_t k = 0; k < kTable; ++k) {
+      // bound_[k] = smallest n with value(n) >= k+1 (sentinel 2^53 if none);
+      // boundaries are non-decreasing, so each search resumes at the last.
+      std::uint64_t hi = 1ull << 53;
+      while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (value(mid) >= k + 1) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      bound_[k] = lo;
+    }
+  }
+
+  /// One geometric draw; consumes exactly one next_u64().
+  std::uint64_t draw(Rng& rng) {
+    const std::uint64_t n = rng.next_u64() >> 11;
+    if (use_table_) {
+      std::uint32_t k = 0;
+      while (k < kTable && n >= bound_[k]) ++k;
+      if (k < kTable) return k;
+    }
+    return value(n);
+  }
+
+ private:
+  static constexpr std::uint32_t kTable = 32;
+  static constexpr double kLnHalf = -0.6931471805599453;
+
+  /// The reference mapping — the identical expression geometric_from_log
+  /// evaluates, on the integer the uniform draw quantizes to.
+  [[nodiscard]] std::uint64_t value(std::uint64_t n) const {
+    const double u = static_cast<double>(n) * 0x1.0p-53;
+    return static_cast<std::uint64_t>(std::log1p(-u) / log1m_p_);
+  }
+
+  double log1m_p_ = 0.0;
+  bool use_table_ = false;
+  std::array<std::uint64_t, kTable> bound_{};
+};
+
 }  // namespace syncpat::util

@@ -45,6 +45,8 @@ void ProfileTraceSource::reset() {
 
   const double mean_gap = std::max(1.0, profile_.work_cycles_per_ref);
   gap_log1m_p_ = mean_gap > 1.0 ? std::log1p(-1.0 / mean_gap) : 0.0;
+  gap_sampler_ = gap_log1m_p_ != 0.0 ? util::GeometricSampler(gap_log1m_p_)
+                                     : util::GeometricSampler();
 
   const LockingModel& lk = profile_.locking;
   outer_target_ = lk.pairs_per_proc - lk.nested_per_proc;
@@ -136,7 +138,7 @@ std::uint32_t ProfileTraceSource::next_gap() {
   // gap_log1m_p_ == 0 marks a mean gap of exactly 1: geometric(1.0) draws
   // nothing and contributes 0, matching the original per-event computation.
   std::uint64_t gap =
-      1 + (gap_log1m_p_ != 0.0 ? rng_.geometric_from_log(gap_log1m_p_) : 0);
+      1 + (gap_log1m_p_ != 0.0 ? gap_sampler_.draw(rng_) : 0);
   if (profile_.cpi_skew > 0.0 && proc_ == profile_.skew_proc) {
     gap = static_cast<std::uint64_t>(
         std::llround(static_cast<double>(gap) * (1.0 + profile_.cpi_skew)));

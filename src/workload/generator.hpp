@@ -48,6 +48,7 @@ class ProfileTraceSource final : public trace::TraceSource {
   double gap_log1m_p_ = 0.0;         // log1p(-1/mean_gap), hoisted out of the
                                      // per-event geometric draw in next_gap();
                                      // 0 means mean_gap == 1 (no draw at all)
+  util::GeometricSampler gap_sampler_;  // bit-identical table-drawn gaps
   std::uint64_t outer_target_ = 0;
   std::uint64_t outer_emitted_ = 0;
   std::uint64_t burst_window_refs_ = 0;

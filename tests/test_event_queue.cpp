@@ -1,0 +1,199 @@
+// Unit tests for the DES core's event queue: deterministic (cycle, id)
+// ordering, cancel/reschedule as moves, heap + position-index invariants
+// under randomized operation sequences, and the causality floor's death test
+// (scheduling into the past must abort, not silently corrupt the timeline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/event_queue.hpp"
+
+namespace syncpat::core {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.floor(), 0u);
+  for (std::uint32_t s = 0; s < 4; ++s) EXPECT_FALSE(q.contains(s));
+  EXPECT_TRUE(q.validate());
+}
+
+TEST(EventQueue, PopsInCycleOrder) {
+  EventQueue q(5);
+  q.schedule(3, 50);
+  q.schedule(0, 10);
+  q.schedule(4, 30);
+  q.schedule(1, 40);
+  q.schedule(2, 20);
+  ASSERT_TRUE(q.validate());
+
+  std::vector<std::uint32_t> order;
+  while (!q.empty()) order.push_back(q.pop_min());
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 2, 4, 1, 3}));
+}
+
+// Ties pop in ascending source id — the tick loop's processor order — no
+// matter in which order the tied entries were inserted.
+TEST(EventQueue, TiesBreakBySourceIdNotInsertionOrder) {
+  std::vector<std::uint32_t> insertion{4, 1, 3, 0, 2};
+  do {
+    EventQueue q(5);
+    for (const std::uint32_t s : insertion) q.schedule(s, 7);
+    std::vector<std::uint32_t> order;
+    while (!q.empty()) {
+      EXPECT_EQ(q.min_key(), 7u);
+      EXPECT_EQ(q.min_source(), order.empty() ? 0u : order.back() + 1);
+      order.push_back(q.pop_min());
+    }
+    EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+  } while (std::next_permutation(insertion.begin(), insertion.end()));
+}
+
+TEST(EventQueue, TieBreakInterleavesWithDistinctKeys) {
+  EventQueue q(6);
+  q.schedule(5, 10);
+  q.schedule(2, 10);
+  q.schedule(4, 9);
+  q.schedule(0, 11);
+  q.schedule(3, 10);
+  std::vector<std::uint32_t> order;
+  while (!q.empty()) order.push_back(q.pop_min());
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{4, 2, 3, 5, 0}));
+}
+
+TEST(EventQueue, RescheduleMovesTheSingleEntry) {
+  EventQueue q(3);
+  q.schedule(1, 100);
+  q.schedule(1, 5);  // earlier: sifts up
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.key_of(1), 5u);
+
+  q.schedule(0, 50);
+  q.schedule(2, 60);
+  q.schedule(1, 70);  // later: sifts down past both
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.key_of(1), 70u);
+  ASSERT_TRUE(q.validate());
+  EXPECT_EQ(q.pop_min(), 0u);
+  EXPECT_EQ(q.pop_min(), 2u);
+  EXPECT_EQ(q.pop_min(), 1u);
+}
+
+TEST(EventQueue, RescheduleToSameCycleIsANoOp) {
+  EventQueue q(2);
+  q.schedule(0, 10);
+  q.schedule(0, 10);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.key_of(0), 10u);
+  EXPECT_TRUE(q.validate());
+}
+
+TEST(EventQueue, CancelRemovesAndIsIdempotent) {
+  EventQueue q(4);
+  q.schedule(0, 10);
+  q.schedule(1, 20);
+  q.schedule(2, 30);
+  q.cancel(1);
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(1);  // absent: no-op
+  q.cancel(3);  // never present: no-op
+  EXPECT_EQ(q.size(), 2u);
+  ASSERT_TRUE(q.validate());
+  EXPECT_EQ(q.pop_min(), 0u);
+  EXPECT_EQ(q.pop_min(), 2u);
+
+  // A cancelled source can come back at any (legal) cycle.
+  q.schedule(1, 15);
+  EXPECT_TRUE(q.contains(1));
+  EXPECT_EQ(q.min_source(), 1u);
+}
+
+TEST(EventQueue, FloorIsMonotone) {
+  EventQueue q(2);
+  q.set_floor(10);
+  EXPECT_EQ(q.floor(), 10u);
+  q.set_floor(5);  // never lowers
+  EXPECT_EQ(q.floor(), 10u);
+  q.schedule(0, 10);  // exactly at the floor is legal
+  EXPECT_EQ(q.min_key(), 10u);
+}
+
+// Randomized mixed workload: after every operation the heap property, the
+// position index, and the membership count must all hold, and draining the
+// queue yields the (cycle, id)-sorted remainder.
+TEST(EventQueue, InvariantsHoldUnderRandomizedOperations) {
+  constexpr std::uint32_t kSources = 23;
+  std::mt19937 rng(0xC0FFEE);
+  EventQueue q(kSources);
+  std::uint64_t clock = 0;
+  for (int op = 0; op < 5000; ++op) {
+    const std::uint32_t source = rng() % kSources;
+    switch (rng() % 4) {
+      case 0:
+      case 1:  // schedule twice as often as the rest
+        q.schedule(source, clock + 1 + rng() % 1000);
+        break;
+      case 2:
+        q.cancel(source);
+        break;
+      case 3:
+        if (!q.empty() && rng() % 8 == 0) {
+          clock = q.min_key();
+          q.set_floor(clock);
+          q.pop_min();
+        }
+        break;
+    }
+    ASSERT_TRUE(q.validate()) << "after op " << op;
+  }
+
+  std::uint64_t last_key = 0;
+  std::uint32_t last_source = 0;
+  bool first = true;
+  while (!q.empty()) {
+    const std::uint64_t key = q.min_key();
+    const std::uint32_t source = q.pop_min();
+    if (!first) {
+      const bool ordered =
+          key > last_key || (key == last_key && source > last_source);
+      ASSERT_TRUE(ordered) << "(" << last_key << "," << last_source
+                           << ") popped before (" << key << "," << source << ")";
+    }
+    first = false;
+    last_key = key;
+    last_source = source;
+    ASSERT_TRUE(q.validate());
+  }
+}
+
+// Scheduling below the causality floor is the classic DES bug that silently
+// reorders history; it must die loudly instead.
+TEST(EventQueueDeathTest, SchedulingIntoThePastDies) {
+  EXPECT_DEATH(
+      {
+        EventQueue q(2);
+        q.set_floor(100);
+        q.schedule(0, 99);
+      },
+      "event scheduled into the past");
+}
+
+TEST(EventQueueDeathTest, RescheduleIntoThePastDies) {
+  EXPECT_DEATH(
+      {
+        EventQueue q(2);
+        q.schedule(0, 50);
+        q.set_floor(100);
+        q.schedule(0, 60);  // moving an existing entry below the floor
+      },
+      "event scheduled into the past");
+}
+
+}  // namespace
+}  // namespace syncpat::core

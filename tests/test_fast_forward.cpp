@@ -1,13 +1,18 @@
-// Differential test for the quiescence fast-forward engine: running with the
-// run-ahead loop enabled must produce a byte-identical SimulationResult to
-// per-cycle stepping for every lock scheme, consistency model, and write
-// policy.  Every field — including RunningStat moments, which would expose a
-// single reordered or double-counted sample — is rendered with hexfloat
-// precision (fuzz::render_result, shared with the fuzzing harness) and
-// compared as a string so nothing is hidden by rounding.
+// Differential test for the execution engines: the discrete-event core and
+// the legacy tick engine (with and without its quiescence run-ahead) must
+// produce byte-identical SimulationResults for every lock scheme, consistency
+// model, and write policy.  Every field — including RunningStat moments, which
+// would expose a single reordered or double-counted sample — is rendered with
+// hexfloat precision (fuzz::render_result, shared with the fuzzing harness)
+// and compared as a string so nothing is hidden by rounding.
+//
+// Also covers the engine-selection surface: the --engine/SYNCPAT_ENGINE
+// override, strict rejection of malformed values, and the deprecated
+// SYNCPAT_FAST_FORWARD alias (which now selects the tick engine).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "bus/interface.hpp"
@@ -36,31 +41,43 @@ workload::BenchmarkProfile profile_by_name(const std::string& name) {
 struct RunOutput {
   std::string rendered;
   core::FastForwardStats ff;
+  core::DesStats des;
+  core::EngineKind engine = core::EngineKind::kDes;
 };
 
 RunOutput run_once(const workload::BenchmarkProfile& scaled,
-                   core::MachineConfig cfg, bool fast_forward) {
+                   core::MachineConfig cfg, core::EngineKind engine,
+                   bool fast_forward = true) {
   cfg.num_procs = scaled.num_procs;
+  cfg.engine = engine;
   cfg.fast_forward = fast_forward;
   trace::ProgramTrace program = workload::make_program_trace(scaled);
   core::Simulator sim(cfg, program);
   RunOutput out;
   out.rendered = fuzz::render_result(sim.run());
   out.ff = sim.fast_forward_stats();
+  out.des = sim.des_stats();
+  out.engine = sim.engine();
   return out;
 }
 
-class FastForwardDifferential : public ::testing::Test {
+class EngineDifferential : public ::testing::Test {
  protected:
-  // cfg.fast_forward must control the mode: a SYNCPAT_FAST_FORWARD value
-  // inherited from the calling environment would override it for every run.
-  void SetUp() override { unsetenv("SYNCPAT_FAST_FORWARD"); }
+  // The config fields must control the mode: values inherited from the
+  // calling environment would override them for every run.
+  void SetUp() override {
+    unsetenv("SYNCPAT_ENGINE");
+    unsetenv("SYNCPAT_FAST_FORWARD");
+  }
 };
 
-TEST_F(FastForwardDifferential, ByteIdenticalAcrossSchemesModelsAndPolicies) {
+// The 28-config matrix: 7 lock schemes x 2 consistency models x 2 write
+// policies, each run three ways — DES, tick per-cycle, tick with run-ahead.
+TEST_F(EngineDifferential, ByteIdenticalAcrossSchemesModelsAndPolicies) {
   const workload::BenchmarkProfile scaled =
       profile_by_name("Grav").scaled(kScale);
   std::uint64_t total_jumps = 0;
+  std::uint64_t total_spans = 0;
   for (const sync::SchemeKind scheme : sync::all_scheme_kinds()) {
     for (const bus::ConsistencyModel model :
          {bus::ConsistencyModel::kSequential, bus::ConsistencyModel::kWeak}) {
@@ -70,60 +87,182 @@ TEST_F(FastForwardDifferential, ByteIdenticalAcrossSchemesModelsAndPolicies) {
         cfg.lock_scheme = scheme;
         cfg.consistency = model;
         cfg.write_policy = policy;
-        const RunOutput on = run_once(scaled, cfg, true);
-        const RunOutput off = run_once(scaled, cfg, false);
-        EXPECT_TRUE(on.ff.enabled);
-        EXPECT_FALSE(off.ff.enabled);
-        EXPECT_EQ(on.rendered, off.rendered)
-            << "fast-forward diverged: scheme=" << sync::scheme_kind_name(scheme)
-            << " model=" << bus::consistency_name(model)
-            << " policy=" << cache::write_policy_name(policy);
-        total_jumps += on.ff.jumps;
+        const std::string label =
+            std::string("scheme=") + sync::scheme_kind_name(scheme) +
+            " model=" + bus::consistency_name(model) +
+            " policy=" + cache::write_policy_name(policy);
+        const RunOutput des = run_once(scaled, cfg, core::EngineKind::kDes);
+        const RunOutput tick =
+            run_once(scaled, cfg, core::EngineKind::kTick, /*fast_forward=*/false);
+        const RunOutput tick_ff =
+            run_once(scaled, cfg, core::EngineKind::kTick, /*fast_forward=*/true);
+        EXPECT_TRUE(des.des.enabled);
+        EXPECT_FALSE(tick.ff.enabled);
+        EXPECT_TRUE(tick_ff.ff.enabled);
+        EXPECT_EQ(des.rendered, tick.rendered)
+            << "DES diverged from per-cycle ticking: " << label;
+        EXPECT_EQ(tick_ff.rendered, tick.rendered)
+            << "fast-forward diverged from per-cycle ticking: " << label;
+        total_jumps += tick_ff.ff.jumps;
+        total_spans += des.des.spans;
       }
     }
   }
-  // The engine must actually engage somewhere, or this test proves nothing.
+  // Both accelerated engines must actually skip cycles somewhere, or this
+  // test proves nothing about their bulk-advance paths.
   EXPECT_GT(total_jumps, 0u);
+  EXPECT_GT(total_spans, 0u);
 }
 
-TEST_F(FastForwardDifferential, EngagesOnQuiescentHeavyProfile) {
+TEST_F(EngineDifferential, DesSkipsMostCyclesOnCoarseGrainedWork) {
+  // Long compute gaps between references: the event queue should jump the
+  // gaps and make stepped cycles a small minority.
+  workload::BenchmarkProfile coarse = profile_by_name("Grav");
+  coarse.work_cycles_per_ref = 400;
+  coarse.name = "Grav-coarse";
+  const workload::BenchmarkProfile scaled = coarse.scaled(kScale * 4);
+  core::MachineConfig cfg;
+  cfg.lock_scheme = sync::SchemeKind::kTtas;
+  const RunOutput des = run_once(scaled, cfg, core::EngineKind::kDes);
+  EXPECT_TRUE(des.des.enabled);
+  EXPECT_GT(des.des.spans, 0u);
+  EXPECT_GT(des.des.span_cycles, des.des.stepped_cycles)
+      << "the event queue should make stepped cycles the minority";
+}
+
+TEST_F(EngineDifferential, TickRunAheadEngagesOnQuiescentHeavyProfile) {
   const workload::BenchmarkProfile scaled =
       profile_by_name("Grav").scaled(kScale);
   core::MachineConfig cfg;
   cfg.lock_scheme = sync::SchemeKind::kTtas;
-  const RunOutput on = run_once(scaled, cfg, true);
+  const RunOutput on = run_once(scaled, cfg, core::EngineKind::kTick);
   EXPECT_TRUE(on.ff.enabled);
   EXPECT_GT(on.ff.jumps, 0u);
   EXPECT_GT(on.ff.skipped_cycles + on.ff.run_ahead_cycles, 0u);
 }
 
-TEST_F(FastForwardDifferential, InvariantCheckerForcesPerCycle) {
+TEST_F(EngineDifferential, InvariantCheckerForcesPerCycleTick) {
   const workload::BenchmarkProfile scaled =
       profile_by_name("Pverify").scaled(kScale * 4);
   core::MachineConfig cfg;
   cfg.lock_scheme = sync::SchemeKind::kTtas;
   cfg.invariants.enabled = true;
-  const RunOutput checked = run_once(scaled, cfg, true);
+  const RunOutput checked = run_once(scaled, cfg, core::EngineKind::kDes);
+  EXPECT_EQ(checked.engine, core::EngineKind::kTick);
   EXPECT_FALSE(checked.ff.enabled);
+  EXPECT_FALSE(checked.des.enabled);
   EXPECT_EQ(checked.ff.jumps, 0u);
+  EXPECT_EQ(checked.des.spans, 0u);
 }
 
-TEST_F(FastForwardDifferential, EnvVarEscapeHatch) {
+TEST_F(EngineDifferential, EngineEnvOverridesConfig) {
+  const workload::BenchmarkProfile scaled =
+      profile_by_name("Pverify").scaled(kScale * 4);
+  core::MachineConfig cfg;
+  cfg.lock_scheme = sync::SchemeKind::kTtas;
+
+  setenv("SYNCPAT_ENGINE", "tick", 1);
+  const RunOutput forced_tick = run_once(scaled, cfg, core::EngineKind::kDes);
+  EXPECT_EQ(forced_tick.engine, core::EngineKind::kTick);
+  EXPECT_TRUE(forced_tick.ff.enabled);  // config fast_forward default holds
+
+  setenv("SYNCPAT_ENGINE", "des", 1);
+  const RunOutput forced_des =
+      run_once(scaled, cfg, core::EngineKind::kTick, /*fast_forward=*/false);
+  EXPECT_EQ(forced_des.engine, core::EngineKind::kDes);
+  EXPECT_TRUE(forced_des.des.enabled);
+
+  unsetenv("SYNCPAT_ENGINE");
+  EXPECT_EQ(forced_tick.rendered, forced_des.rendered);
+}
+
+// The deprecated SYNCPAT_FAST_FORWARD variable maps onto the tick engine:
+// "1" keeps its historical meaning (tick + run-ahead), "0" the historical
+// per-cycle reference mode.  SYNCPAT_ENGINE wins when both are set.
+TEST_F(EngineDifferential, DeprecatedFastForwardEnvSelectsTickEngine) {
   const workload::BenchmarkProfile scaled =
       profile_by_name("Pverify").scaled(kScale * 4);
   core::MachineConfig cfg;
   cfg.lock_scheme = sync::SchemeKind::kTtas;
 
   setenv("SYNCPAT_FAST_FORWARD", "0", 1);
-  const RunOutput forced_off = run_once(scaled, cfg, true);
+  const RunOutput forced_off = run_once(scaled, cfg, core::EngineKind::kDes);
+  EXPECT_EQ(forced_off.engine, core::EngineKind::kTick);
   EXPECT_FALSE(forced_off.ff.enabled);
 
   setenv("SYNCPAT_FAST_FORWARD", "1", 1);
-  const RunOutput forced_on = run_once(scaled, cfg, false);
+  const RunOutput forced_on =
+      run_once(scaled, cfg, core::EngineKind::kDes, /*fast_forward=*/false);
+  EXPECT_EQ(forced_on.engine, core::EngineKind::kTick);
   EXPECT_TRUE(forced_on.ff.enabled);
 
+  setenv("SYNCPAT_ENGINE", "des", 1);
+  const RunOutput engine_wins =
+      run_once(scaled, cfg, core::EngineKind::kTick, /*fast_forward=*/false);
+  EXPECT_EQ(engine_wins.engine, core::EngineKind::kDes);
+
+  unsetenv("SYNCPAT_ENGINE");
   unsetenv("SYNCPAT_FAST_FORWARD");
   EXPECT_EQ(forced_off.rendered, forced_on.rendered);
+  EXPECT_EQ(forced_off.rendered, engine_wins.rendered);
+}
+
+// Malformed values in either variable are configuration errors, never
+// silently ignored — even when the other variable would win the selection.
+TEST_F(EngineDifferential, MalformedEnvValuesAreRejected) {
+  using core::EngineKind;
+  using core::resolve_engine;
+  EXPECT_THROW((void)resolve_engine(EngineKind::kDes, true, "fast", nullptr),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_engine(EngineKind::kDes, true, "DES", nullptr),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_engine(EngineKind::kDes, true, "", nullptr),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_engine(EngineKind::kDes, true, nullptr, "2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_engine(EngineKind::kDes, true, nullptr, "yes"),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_engine(EngineKind::kDes, true, nullptr, ""),
+               std::invalid_argument);
+  // Strictness is not short-circuited by precedence.
+  EXPECT_THROW((void)resolve_engine(EngineKind::kDes, true, "des", "maybe"),
+               std::invalid_argument);
+}
+
+TEST_F(EngineDifferential, ResolveEngineAliasingTable) {
+  using core::EngineKind;
+  using core::EngineSelection;
+  using core::resolve_engine;
+
+  // No environment: the config decides.
+  EngineSelection sel = resolve_engine(EngineKind::kDes, true, nullptr, nullptr);
+  EXPECT_EQ(sel.engine, EngineKind::kDes);
+  EXPECT_FALSE(sel.from_deprecated_ff);
+
+  sel = resolve_engine(EngineKind::kTick, false, nullptr, nullptr);
+  EXPECT_EQ(sel.engine, EngineKind::kTick);
+  EXPECT_FALSE(sel.fast_forward);
+
+  // Deprecated alias alone: tick engine, with/without run-ahead.
+  sel = resolve_engine(EngineKind::kDes, true, nullptr, "1");
+  EXPECT_EQ(sel.engine, EngineKind::kTick);
+  EXPECT_TRUE(sel.fast_forward);
+  EXPECT_TRUE(sel.from_deprecated_ff);
+
+  sel = resolve_engine(EngineKind::kDes, true, nullptr, "0");
+  EXPECT_EQ(sel.engine, EngineKind::kTick);
+  EXPECT_FALSE(sel.fast_forward);
+  EXPECT_TRUE(sel.from_deprecated_ff);
+
+  // Both set: SYNCPAT_ENGINE wins, the ff bit still applies to tick.
+  sel = resolve_engine(EngineKind::kDes, true, "des", "1");
+  EXPECT_EQ(sel.engine, EngineKind::kDes);
+  EXPECT_FALSE(sel.from_deprecated_ff);
+
+  sel = resolve_engine(EngineKind::kDes, true, "tick", "0");
+  EXPECT_EQ(sel.engine, EngineKind::kTick);
+  EXPECT_FALSE(sel.fast_forward);
+  EXPECT_FALSE(sel.from_deprecated_ff);
 }
 
 }  // namespace

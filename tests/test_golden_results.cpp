@@ -47,8 +47,21 @@ std::string render_snapshot(const core::GridResult& grid) {
   return out.str();
 }
 
-TEST(GoldenResults, Table3And5HeadlineNumbers) {
+// Parameterized over the execution engine: the same committed snapshot must
+// hold for the discrete-event core and the legacy tick loop — one golden
+// file, two engines, any divergence is a correctness bug in one of them.
+class GoldenResults : public ::testing::TestWithParam<core::EngineKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, GoldenResults,
+                         ::testing::Values(core::EngineKind::kDes,
+                                           core::EngineKind::kTick),
+                         [](const auto& info) {
+                           return std::string(core::engine_name(info.param));
+                         });
+
+TEST_P(GoldenResults, Table3And5HeadlineNumbers) {
   core::ExperimentGrid grid;
+  grid.base.engine = GetParam();
   grid.profiles = workload::paper_profiles();
   grid.schemes = {sync::SchemeKind::kQueuing, sync::SchemeKind::kTtas};
   grid.scales = {kGoldenScale};

@@ -63,17 +63,18 @@ std::uint64_t total_of(const obs::MetricsRegistry& m, StallCat cat) {
 
 class MetricsConservation : public ::testing::Test {
  protected:
-  // cfg.fast_forward must control the mode (same reasoning as the
-  // fast-forward differential), and SYNCPAT_METRICS must not leak in.
+  // cfg.engine / cfg.fast_forward must control the mode (same reasoning as
+  // the engine differential), and SYNCPAT_METRICS must not leak in.
   void SetUp() override {
+    unsetenv("SYNCPAT_ENGINE");
     unsetenv("SYNCPAT_FAST_FORWARD");
     unsetenv("SYNCPAT_METRICS");
   }
 };
 
 // The tentpole invariant across all 28 machine variants, plus export
-// byte-identity between fast-forward modes (metrics must not observe the
-// engine's stepping strategy).
+// byte-identity between execution engines (metrics must not observe the
+// engine's stepping strategy: DES, per-cycle tick, tick with run-ahead).
 TEST_F(MetricsConservation, HoldsAcrossSchemesModelsAndPolicies) {
   const workload::BenchmarkProfile scaled =
       profile_by_name("Grav").scaled(64);
@@ -86,13 +87,23 @@ TEST_F(MetricsConservation, HoldsAcrossSchemesModelsAndPolicies) {
             std::string(sync::scheme_kind_name(scheme)) + "/" +
             bus::consistency_name(model) + "/" +
             cache::write_policy_name(policy);
-        std::string exports[2];
-        for (const bool ff : {true, false}) {
+        struct EngineMode {
+          core::EngineKind engine;
+          bool fast_forward;
+        };
+        constexpr EngineMode kModes[] = {
+            {core::EngineKind::kDes, true},
+            {core::EngineKind::kTick, true},
+            {core::EngineKind::kTick, false},
+        };
+        std::string exports[3];
+        for (std::size_t mode = 0; mode < 3; ++mode) {
           core::MachineConfig cfg;
           cfg.lock_scheme = scheme;
           cfg.consistency = model;
           cfg.write_policy = policy;
-          cfg.fast_forward = ff;
+          cfg.engine = kModes[mode].engine;
+          cfg.fast_forward = kModes[mode].fast_forward;
           cfg.metrics.enabled = true;
           cfg.num_procs = scaled.num_procs;
           trace::ProgramTrace program = workload::make_program_trace(scaled);
@@ -112,9 +123,11 @@ TEST_F(MetricsConservation, HoldsAcrossSchemesModelsAndPolicies) {
           EXPECT_EQ(m->bus().total_busy(), sim.bus().busy_cycles()) << what;
           const obs::MetricsMeta meta{r.program, r.scheme, r.consistency,
                                       r.num_procs, r.run_time};
-          exports[ff ? 0 : 1] = obs::metrics_to_json(*m, meta);
+          exports[mode] = obs::metrics_to_json(*m, meta);
         }
-        EXPECT_EQ(exports[0], exports[1])
+        EXPECT_EQ(exports[0], exports[2])
+            << what << ": metrics JSON differs between DES and per-cycle tick";
+        EXPECT_EQ(exports[1], exports[2])
             << what << ": metrics JSON differs between fast-forward modes";
       }
     }
@@ -333,25 +346,34 @@ TEST(MetricsBusGauge, FinalizeClipsTheTrailingTenure) {
 TEST(MetricsSelfProfile, AttachingNeverChangesTheSimulation) {
   const workload::BenchmarkProfile scaled =
       profile_by_name("Qsort").scaled(256);
-  core::MachineConfig cfg;
-  cfg.num_procs = scaled.num_procs;
+  // Both engines: the profiler observes the host, never the simulation, and
+  // each engine's time lands in its own phase bucket.
+  for (const core::EngineKind engine :
+       {core::EngineKind::kDes, core::EngineKind::kTick}) {
+    core::MachineConfig cfg;
+    cfg.num_procs = scaled.num_procs;
+    cfg.engine = engine;
 
-  trace::ProgramTrace plain_program = workload::make_program_trace(scaled);
-  core::Simulator plain(cfg, plain_program);
-  const std::string plain_rendered = fuzz::render_result(plain.run());
+    trace::ProgramTrace plain_program = workload::make_program_trace(scaled);
+    core::Simulator plain(cfg, plain_program);
+    const std::string plain_rendered = fuzz::render_result(plain.run());
 
-  trace::ProgramTrace profiled_program = workload::make_program_trace(scaled);
-  core::Simulator profiled(cfg, profiled_program);
-  obs::SelfProfiler profiler;
-  profiled.set_self_profiler(&profiler);
-  const std::string profiled_rendered = fuzz::render_result(profiled.run());
+    trace::ProgramTrace profiled_program = workload::make_program_trace(scaled);
+    core::Simulator profiled(cfg, profiled_program);
+    obs::SelfProfiler profiler;
+    profiled.set_self_profiler(&profiler);
+    const std::string profiled_rendered = fuzz::render_result(profiled.run());
 
-  EXPECT_EQ(plain_rendered, profiled_rendered);
-  const obs::SelfProfiler::Snapshot snap = profiler.snapshot();
-  EXPECT_GT(snap.calls[static_cast<std::size_t>(
-                obs::SelfProfiler::Phase::kDenseTick)],
-            0u);
-  EXPECT_FALSE(profiler.to_string().empty());
+    EXPECT_EQ(plain_rendered, profiled_rendered)
+        << core::engine_name(engine);
+    const obs::SelfProfiler::Snapshot snap = profiler.snapshot();
+    const auto phase = engine == core::EngineKind::kDes
+                           ? obs::SelfProfiler::Phase::kEventLoop
+                           : obs::SelfProfiler::Phase::kDenseTick;
+    EXPECT_GT(snap.calls[static_cast<std::size_t>(phase)], 0u)
+        << core::engine_name(engine);
+    EXPECT_FALSE(profiler.to_string().empty());
+  }
 }
 
 }  // namespace

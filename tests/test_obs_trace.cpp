@@ -202,11 +202,14 @@ std::size_t count_occurrences(const std::string& text,
   return count;
 }
 
-core::ExperimentOutcome traced_qsort(std::uint32_t categories) {
+core::ExperimentOutcome traced_qsort(
+    std::uint32_t categories,
+    core::EngineKind engine = core::EngineKind::kDes) {
   core::MachineConfig config;
   config.lock_scheme = sync::SchemeKind::kQueuing;
   config.trace.enabled = true;
   config.trace.categories = categories;
+  config.engine = engine;
   return core::run_experiment(config, workload::qsort_profile(), 128);
 }
 
@@ -223,14 +226,38 @@ TEST(TraceChrome, ExportIsWellFormedJson) {
 
 // The acceptance contract: hand-off events are emitted at the exact source
 // line that counts a transfer, so their count in the exported JSON equals
-// the Transfers column of the contention tables.
+// the Transfers column of the contention tables — under both engines.
 TEST(TraceChrome, HandoffCountEqualsTransfersColumn) {
-  const core::ExperimentOutcome outcome = traced_qsort(obs::category::kAll);
-  EXPECT_GT(outcome.sim.locks.transfers, 0u);
-  EXPECT_EQ(count_occurrences(outcome.trace_json, "\"name\":\"handoff\""),
-            outcome.sim.locks.transfers);
-  EXPECT_EQ(outcome.lock_timeline.total_handoffs(),
-            outcome.sim.locks.transfers);
+  for (const core::EngineKind engine :
+       {core::EngineKind::kDes, core::EngineKind::kTick}) {
+    const core::ExperimentOutcome outcome =
+        traced_qsort(obs::category::kAll, engine);
+    EXPECT_GT(outcome.sim.locks.transfers, 0u) << core::engine_name(engine);
+    EXPECT_EQ(count_occurrences(outcome.trace_json, "\"name\":\"handoff\""),
+              outcome.sim.locks.transfers)
+        << core::engine_name(engine);
+    EXPECT_EQ(outcome.lock_timeline.total_handoffs(),
+              outcome.sim.locks.transfers)
+        << core::engine_name(engine);
+  }
+}
+
+// The DES core ticks only event cycles but emits the exact per-cycle event
+// stream (it never substitutes bulk idle-span records), so the exported
+// trace bytes must match per-cycle ticking exactly.
+TEST(TraceEngine, TraceBytesIdenticalAcrossExecutionEngines) {
+  core::MachineConfig tick;
+  tick.lock_scheme = sync::SchemeKind::kQueuing;
+  tick.trace.enabled = true;
+  tick.engine = core::EngineKind::kTick;
+  tick.fast_forward = false;  // run-ahead would legitimately emit idle spans
+  const core::ExperimentOutcome per_cycle =
+      core::run_experiment(tick, workload::qsort_profile(), 128);
+
+  const core::ExperimentOutcome des = traced_qsort(obs::category::kAll);
+  ASSERT_FALSE(des.trace_json.empty());
+  EXPECT_EQ(count_occurrences(des.trace_json, "\"name\":\"quiescent\""), 0u);
+  EXPECT_EQ(des.trace_json, per_cycle.trace_json);
 }
 
 TEST(TraceChrome, CategoryFilterDropsOtherTracks) {
@@ -332,6 +359,7 @@ TEST(TraceFastForward, SkippedStretchesEmitBulkIdleSpans) {
 
   core::MachineConfig config;
   config.num_procs = scaled.num_procs;
+  config.engine = core::EngineKind::kTick;  // run-ahead is a tick-engine mode
   config.fast_forward = true;
   config.trace.enabled = true;
   core::Simulator sim(config, program);
