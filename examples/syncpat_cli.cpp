@@ -10,9 +10,19 @@
 //     --consistency NAME    sequential|weak (default sequential)
 //     --write-policy NAME   write-back|write-through (default write-back)
 //     --scale N             trace length divisor, >= 1 (default 8)
-//     --procs N             override processor count (profiles only)
+//     --procs N             override processor count, 1..4096 (profiles only)
 //     --buffer N            cache-bus buffer depth (default 4)
 //     --mem-cycles N        memory access time (default 3)
+//     --bus-discipline D    round-robin|fixed-priority|fcfs: the bus
+//                           arbitration service discipline (default
+//                           round-robin, the paper's machine; CLI spelling
+//                           of SYNCPAT_BUS_DISCIPLINE)
+//     --model NAME          bus|dsm: memory cost model (default bus; dsm
+//                           adds a remote-access penalty for lines homed on
+//                           another node; CLI spelling of SYNCPAT_MODEL)
+//     --dsm-nodes N         dsm only: home-directory node count (default 4)
+//     --dsm-remote-cycles N dsm only: extra cycles a remote access pays on
+//                           top of the base memory time (default 20)
 //     --jobs N              worker threads for --sweep (0 = all cores)
 //     --check-invariants    run with the runtime invariant checker enabled;
 //                           exits non-zero on any violation (forces per-cycle
@@ -65,6 +75,7 @@
 #include "report/machine_profile.hpp"
 #include "report/per_lock.hpp"
 #include "report/table.hpp"
+#include "trace/address_map.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/io.hpp"
 #include "trace/validate.hpp"
@@ -82,6 +93,8 @@ using namespace syncpat;
             << " [--program P] [--scheme S] [--consistency C]\n"
                "  [--write-policy W] [--scale N] [--procs N] [--buffer N]\n"
                "  [--mem-cycles N] [--jobs N] [--check-invariants]\n"
+               "  [--bus-discipline round-robin|fixed-priority|fcfs]\n"
+               "  [--model bus|dsm] [--dsm-nodes N] [--dsm-remote-cycles N]\n"
                "  [--engine des|tick] [--sweep] [--per-lock]\n"
                "  [--trace-out FILE] [--trace-events locks,bus,coherence,"
                "barriers,idle,all]\n"
@@ -101,6 +114,10 @@ struct Options {
   std::uint32_t buffer = 4;
   std::uint32_t mem_cycles = 3;
   std::uint32_t jobs = 0;
+  bus::DisciplineKind bus_discipline = bus::DisciplineKind::kRoundRobin;
+  core::MemModelKind model = core::MemModelKind::kBus;
+  std::uint32_t dsm_nodes = 0;          // 0 = DsmConfig default
+  std::uint32_t dsm_remote_cycles = 0;  // 0 = DsmConfig default
   bool check_invariants = false;
   core::EngineKind engine = core::EngineKind::kDes;
   bool fast_forward = true;
@@ -150,9 +167,43 @@ Options parse(int argc, char** argv) {
     // Numeric flags share util::parse_*: a junk value ("--procs foo") is an
     // error, never a silent 0 (the SYNCPAT_SCALE policy).
     else if (arg == "--scale") opt.scale = numeric(arg, value());
-    else if (arg == "--procs") opt.procs = numeric32(arg, value());
+    else if (arg == "--procs") {
+      // parse_positive_u32 already rejects 0; the upper bound is the private
+      // address interleave's capacity (trace::AddressMap::kMaxProcs).
+      opt.procs = numeric32(arg, value());
+      if (opt.procs > trace::AddressMap::kMaxProcs) {
+        std::cerr << "error: --procs must be between 1 and "
+                  << trace::AddressMap::kMaxProcs << ", got " << opt.procs
+                  << "\n";
+        std::exit(2);
+      }
+    }
     else if (arg == "--buffer") opt.buffer = numeric32(arg, value());
     else if (arg == "--mem-cycles") opt.mem_cycles = numeric32(arg, value());
+    else if (arg == "--bus-discipline") {
+      const std::string name = value();
+      try {
+        opt.bus_discipline = bus::discipline_from_name(name);
+      } catch (const std::invalid_argument&) {
+        std::cerr << "error: --bus-discipline expects \"round-robin\", "
+                     "\"fixed-priority\" or \"fcfs\", got \""
+                  << name << "\"\n";
+        std::exit(2);
+      }
+    }
+    else if (arg == "--model") {
+      const std::string name = value();
+      try {
+        opt.model = core::mem_model_from_name(name);
+      } catch (const std::invalid_argument&) {
+        std::cerr << "error: --model expects \"bus\" or \"dsm\", got \""
+                  << name << "\"\n";
+        std::exit(2);
+      }
+    }
+    else if (arg == "--dsm-nodes") opt.dsm_nodes = numeric32(arg, value());
+    else if (arg == "--dsm-remote-cycles")
+      opt.dsm_remote_cycles = numeric32(arg, value());
     else if (arg == "--jobs" || arg == "-j") {
       // 0 is legal here: "use all cores".
       try {
@@ -347,6 +398,12 @@ int main(int argc, char** argv) {
   }
   config.cache_bus_buffer_depth = opt.buffer;
   config.memory.access_cycles = opt.mem_cycles;
+  config.bus_discipline = opt.bus_discipline;
+  config.model = opt.model;
+  if (opt.dsm_nodes > 0) config.dsm.nodes = opt.dsm_nodes;
+  if (opt.dsm_remote_cycles > 0) {
+    config.dsm.remote_access_cycles = opt.dsm_remote_cycles;
+  }
   config.invariants.enabled = opt.check_invariants;
   config.engine = opt.engine;
   config.fast_forward = opt.fast_forward;
@@ -368,6 +425,11 @@ int main(int argc, char** argv) {
         core::resolve_engine_from_env(config.engine, config.fast_forward);
     config.engine = sel.engine;
     config.fast_forward = sel.fast_forward;
+    // Same policy for SYNCPAT_BUS_DISCIPLINE / SYNCPAT_MODEL: junk exits 2
+    // here with the variable named, never a silent default.
+    config.bus_discipline =
+        core::resolve_bus_discipline_from_env(config.bus_discipline);
+    config.model = core::resolve_mem_model_from_env(config.model);
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

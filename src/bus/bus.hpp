@@ -1,4 +1,6 @@
-// Split-transaction bus with round-robin arbitration (paper §2.2).
+// Split-transaction bus (paper §2.2).  Arbitration *policy* — who wins when
+// several ports want the bus — lives in bus/service_discipline.hpp; this
+// object owns occupancy, tenure accounting and utilization.
 //
 // The bus is 64 bits wide; a 16-byte line therefore takes two data cycles.
 // A memory-bound request occupies the bus for one address cycle only, the
@@ -97,14 +99,6 @@ class Bus {
     remaining_ -= static_cast<std::uint32_t>(cycles);
   }
 
-  /// Round-robin scan order: returns the port to consider `offset` places
-  /// after the last grant.
-  [[nodiscard]] std::uint32_t rr_port(std::uint32_t offset) const {
-    return (rr_next_ + offset) % config_.ports;
-  }
-  /// Records that `port` won arbitration; the scan restarts after it.
-  void granted(std::uint32_t port) { rr_next_ = (port + 1) % config_.ports; }
-
   [[nodiscard]] const BusConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
   [[nodiscard]] std::uint64_t total_cycles() const { return total_cycles_; }
@@ -120,7 +114,6 @@ class Bus {
   BusObserver* observer_ = nullptr;
   Transaction* current_ = nullptr;
   std::uint32_t remaining_ = 0;
-  std::uint32_t rr_next_ = 0;
   std::uint64_t busy_cycles_ = 0;
   std::uint64_t total_cycles_ = 0;
 };

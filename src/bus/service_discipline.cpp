@@ -1,0 +1,78 @@
+#include "bus/service_discipline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace syncpat::bus {
+
+ServiceDiscipline::~ServiceDiscipline() = default;
+
+const char* discipline_name(DisciplineKind kind) {
+  switch (kind) {
+    case DisciplineKind::kRoundRobin: return "round-robin";
+    case DisciplineKind::kFixedPriority: return "fixed-priority";
+    case DisciplineKind::kFcfs: return "fcfs";
+  }
+  return "?";
+}
+
+DisciplineKind discipline_from_name(const std::string& name) {
+  if (name == "round-robin") return DisciplineKind::kRoundRobin;
+  if (name == "fixed-priority") return DisciplineKind::kFixedPriority;
+  if (name == "fcfs") return DisciplineKind::kFcfs;
+  throw std::invalid_argument(
+      "bus discipline expects \"round-robin\", \"fixed-priority\" or "
+      "\"fcfs\", got \"" +
+      name + "\"");
+}
+
+void RoundRobinDiscipline::scan_order(const ArbRequest* /*req*/,
+                                      std::uint32_t* out) {
+  for (std::uint32_t i = 0; i < ports_; ++i) {
+    out[i] = (next_ + i) % ports_;
+  }
+}
+
+void FixedPriorityDiscipline::scan_order(const ArbRequest* /*req*/,
+                                         std::uint32_t* out) {
+  // Memory responses drain first (they hold a line slot and block retries),
+  // then the static processor chain.
+  out[0] = ports_ - 1;
+  for (std::uint32_t i = 1; i < ports_; ++i) {
+    out[i] = i - 1;
+  }
+}
+
+void FcfsDiscipline::scan_order(const ArbRequest* req, std::uint32_t* out) {
+  SYNCPAT_ASSERT(req != nullptr);
+  for (std::uint32_t i = 0; i < ports_; ++i) {
+    out[i] = i;
+  }
+  // Total order (requests by arrival stamp, then port id; requestless ports
+  // trail in id order), so the sort is deterministic without stability.
+  std::sort(out, out + ports_, [req](std::uint32_t a, std::uint32_t b) {
+    if (req[a].present != req[b].present) return req[a].present;
+    if (req[a].present && req[a].stamp != req[b].stamp) {
+      return req[a].stamp < req[b].stamp;
+    }
+    return a < b;
+  });
+}
+
+std::unique_ptr<ServiceDiscipline> make_discipline(DisciplineKind kind,
+                                                   std::uint32_t ports) {
+  SYNCPAT_ASSERT(ports > 0);
+  switch (kind) {
+    case DisciplineKind::kRoundRobin:
+      return std::make_unique<RoundRobinDiscipline>(ports);
+    case DisciplineKind::kFixedPriority:
+      return std::make_unique<FixedPriorityDiscipline>(ports);
+    case DisciplineKind::kFcfs:
+      return std::make_unique<FcfsDiscipline>(ports);
+  }
+  throw std::invalid_argument("unknown bus discipline kind");
+}
+
+}  // namespace syncpat::bus

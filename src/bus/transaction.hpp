@@ -53,6 +53,11 @@ struct Transaction {
   // requester's wait cycles are charged to invalidation-refill.
   bool coherence_refill = false;
   TxnPhase phase = TxnPhase::kQueued;
+  // DSM cost model: extra memory service cycles because the requester's node
+  // is not the line's home node (0 under the uniform bus model).  Stamped at
+  // creation; also tags the requester's memory-wait cycles as remote-access
+  // for the stall attribution.
+  std::uint32_t dsm_extra_cycles = 0;
 
   // Filled at the bus request (snoop) phase:
   bool supplied_by_cache = false;    // cache-to-cache transfer

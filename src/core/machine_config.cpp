@@ -32,6 +32,55 @@ namespace {
 
 }  // namespace
 
+const char* mem_model_name(MemModelKind kind) {
+  switch (kind) {
+    case MemModelKind::kBus: return "bus";
+    case MemModelKind::kDsm: return "dsm";
+  }
+  return "?";
+}
+
+MemModelKind mem_model_from_name(const std::string& name) {
+  if (name == "bus") return MemModelKind::kBus;
+  if (name == "dsm") return MemModelKind::kDsm;
+  throw std::invalid_argument("memory model expects \"bus\" or \"dsm\", got \"" +
+                              name + "\"");
+}
+
+bus::DisciplineKind resolve_bus_discipline(bus::DisciplineKind config_value,
+                                           const char* env) {
+  if (env == nullptr) return config_value;
+  try {
+    return bus::discipline_from_name(env);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(
+        std::string("SYNCPAT_BUS_DISCIPLINE expects \"round-robin\", "
+                    "\"fixed-priority\" or \"fcfs\", got \"") +
+        env + "\"");
+  }
+}
+
+bus::DisciplineKind resolve_bus_discipline_from_env(
+    bus::DisciplineKind config_value) {
+  return resolve_bus_discipline(config_value,
+                                std::getenv("SYNCPAT_BUS_DISCIPLINE"));
+}
+
+MemModelKind resolve_mem_model(MemModelKind config_value, const char* env) {
+  if (env == nullptr) return config_value;
+  try {
+    return mem_model_from_name(env);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(
+        std::string("SYNCPAT_MODEL expects \"bus\" or \"dsm\", got \"") + env +
+        "\"");
+  }
+}
+
+MemModelKind resolve_mem_model_from_env(MemModelKind config_value) {
+  return resolve_mem_model(config_value, std::getenv("SYNCPAT_MODEL"));
+}
+
 EngineSelection resolve_engine(EngineKind config_engine,
                                bool config_fast_forward,
                                const char* engine_env, const char* ff_env) {
@@ -83,10 +132,16 @@ std::string MachineConfig::describe() const {
       << "  cache-bus buffer    : " << cache_bus_buffer_depth << " entries"
       << " (dirty lines snoop-visible)\n"
       << "  bus                 : " << bus_bytes * 8
-      << "-bit split-transaction, round-robin arbitration\n"
+      << "-bit split-transaction, " << bus::discipline_name(bus_discipline)
+      << " arbitration\n"
       << "  memory              : " << memory.access_cycles << "-cycle access, "
       << memory.input_depth << "-deep input / " << memory.output_depth
-      << "-deep output buffers\n"
+      << "-deep output buffers\n";
+  if (model == MemModelKind::kDsm) {
+    out << "  memory model        : dsm, " << dsm.nodes << " nodes, +"
+        << dsm.remote_access_cycles << "-cycle remote access\n";
+  }
+  out
       << "  uncontended miss    : 1 (request) + " << memory.access_cycles
       << " (memory) + " << line_transfer_cycles()
       << " (line over bus) = "

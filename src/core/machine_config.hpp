@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bus/interface.hpp"
+#include "bus/service_discipline.hpp"
 #include "cache/cache.hpp"
 #include "mem/memory.hpp"
 #include "obs/metrics.hpp"
@@ -60,6 +61,45 @@ struct EngineSelection {
 [[nodiscard]] EngineSelection resolve_engine_from_env(EngineKind config_engine,
                                                       bool config_fast_forward);
 
+/// Memory system cost model.
+///   * kBus (default): the paper's machine — uniform memory behind the
+///     shared bus, every access costs MemoryConfig::access_cycles.
+///   * kDsm: a distributed-shared-memory overlay (Golab's CC-vs-DSM model
+///     separation): processors are grouped into nodes, every line has a
+///     home node (address-interleaved), and an access whose requester is
+///     not on the line's home node pays DsmConfig::remote_access_cycles on
+///     top of the base access time.  Coherence traffic still crosses the
+///     one shared bus; only the memory module's service time changes, so
+///     both engines stay byte-identical by construction.
+enum class MemModelKind : std::uint8_t { kBus, kDsm };
+
+[[nodiscard]] const char* mem_model_name(MemModelKind kind);
+/// Strict: accepts exactly "bus" or "dsm"; anything else throws
+/// std::invalid_argument naming the offending text.
+[[nodiscard]] MemModelKind mem_model_from_name(const std::string& name);
+
+/// NUMA geometry for MemModelKind::kDsm: `nodes` home-directory nodes,
+/// processors striped across them in contiguous blocks of
+/// ceil(num_procs / nodes).  Lines are home-interleaved by line index.
+struct DsmConfig {
+  std::uint32_t nodes = 4;
+  std::uint32_t remote_access_cycles = 20;
+};
+
+/// Resolves the bus service discipline from the config value and the
+/// SYNCPAT_BUS_DISCIPLINE environment string (nullptr = unset).  Strict:
+/// junk throws std::invalid_argument, never a silent default.
+[[nodiscard]] bus::DisciplineKind resolve_bus_discipline(
+    bus::DisciplineKind config_value, const char* env);
+[[nodiscard]] bus::DisciplineKind resolve_bus_discipline_from_env(
+    bus::DisciplineKind config_value);
+
+/// Resolves the memory model from the config value and the SYNCPAT_MODEL
+/// environment string (nullptr = unset).  Strict like the discipline.
+[[nodiscard]] MemModelKind resolve_mem_model(MemModelKind config_value,
+                                             const char* env);
+[[nodiscard]] MemModelKind resolve_mem_model_from_env(MemModelKind config_value);
+
 /// Opt-in runtime invariant checking (see core/invariant_checker.hpp).
 /// Compiled in unconditionally; a disabled checker costs one branch per
 /// cycle, so benches pay nothing.
@@ -81,6 +121,16 @@ struct MachineConfig {
   std::uint32_t bus_bytes = 8;       // 64-bit data path
   std::uint32_t cache_bus_buffer_depth = 4;
   mem::MemoryConfig memory;          // 3 cycles, 2-deep in/out buffers
+
+  /// Bus service discipline (see bus/service_discipline.hpp).  Overridable
+  /// by SYNCPAT_BUS_DISCIPLINE (strict).  Round-robin is byte-identical to
+  /// the historical hardwired arbiter.
+  bus::DisciplineKind bus_discipline = bus::DisciplineKind::kRoundRobin;
+
+  /// Memory cost model (see MemModelKind).  Overridable by SYNCPAT_MODEL
+  /// (strict).  `dsm` is only consulted when model == kDsm.
+  MemModelKind model = MemModelKind::kBus;
+  DsmConfig dsm;
 
   bus::ConsistencyModel consistency = bus::ConsistencyModel::kSequential;
   sync::SchemeKind lock_scheme = sync::SchemeKind::kQueuing;

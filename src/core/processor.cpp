@@ -88,7 +88,12 @@ obs::StallCat Processor::classify_wait_cycle() const {
           return obs::StallCat::kBusTransfer;
         case bus::TxnPhase::kInMemory:
         case bus::TxnPhase::kMemOutput:
-          return obs::StallCat::kMemoryLatency;
+          // Under the DSM model the whole memory wait of a remote-home
+          // access is charged to remote-access (the node hop dominates and
+          // the split would be arbitrary); local accesses and the bus model
+          // stay plain memory latency.
+          return t->dsm_extra_cycles > 0 ? obs::StallCat::kRemoteAccess
+                                         : obs::StallCat::kMemoryLatency;
       }
       return obs::StallCat::kBusTransfer;
     }

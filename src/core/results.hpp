@@ -28,6 +28,17 @@ struct BusTraffic {
   }
 };
 
+/// Bus arbitration summary for the run's service discipline (see
+/// bus/service_discipline.hpp): how many grants it issued and how long
+/// requests waited between reaching the bus queue and being granted.
+struct DisciplineResult {
+  std::string name;                 // "round-robin" / "fixed-priority" / "fcfs"
+  std::uint64_t grants = 0;         // processor-side request grants
+  std::uint64_t memory_grants = 0;  // memory response grants
+  std::uint64_t max_grant_wait = 0; // worst queued-to-granted wait (cycles)
+  util::RunningStat grant_wait;     // queued-to-granted wait per grant
+};
+
 struct ProcResult {
   std::uint64_t work_cycles = 0;
   std::uint64_t stall_cache = 0;
@@ -60,6 +71,7 @@ struct SimulationResult {
 
   double bus_utilization = 0.0;
   BusTraffic traffic;
+  DisciplineResult discipline;
   double write_hit_ratio = 0.0;
   double read_hit_ratio = 0.0;
 

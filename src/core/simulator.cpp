@@ -38,6 +38,15 @@ Simulator::Simulator(const MachineConfig& config, trace::ProgramTrace& program)
       memory_(config.memory),
       des_due_(static_cast<std::uint32_t>(program.num_procs())) {
   SYNCPAT_ASSERT(program.num_procs() > 0);
+  discipline_ = bus::make_discipline(
+      resolve_bus_discipline_from_env(cfg_.bus_discipline), bus_.config().ports);
+  arb_order_.resize(bus_.config().ports);
+  arb_req_.resize(bus_.config().ports);
+  mem_model_ = resolve_mem_model_from_env(cfg_.model);
+  SYNCPAT_ASSERT(cfg_.dsm.nodes > 0);
+  dsm_procs_per_node_ =
+      (static_cast<std::uint32_t>(program.num_procs()) + cfg_.dsm.nodes - 1) /
+      cfg_.dsm.nodes;
   program.reset_all();
   const auto nprocs = static_cast<std::uint32_t>(program.num_procs());
   spin_line_.assign(nprocs, 0);
@@ -571,6 +580,14 @@ std::uint64_t Simulator::des_next_event() const {
     if (d == 1) return cycle_ + 1;
     t = std::min(t, cycle_ + d);
   }
+  if (Transaction* r = memory_.pending_response();
+      r != nullptr && r->issued_cycle == 0) {
+    // A response that surfaced at the output-buffer front behind another one
+    // is stamped by phase 2 of the next cycle, and that stamp is observable
+    // (it feeds the discipline's grant-wait statistics), so the next cycle
+    // is an event regardless of bus state.
+    return cycle_ + 1;
+  }
   if (bus_.free()) {
     // A grant can happen at the next arbitration: a stamped memory response
     // or any queued request makes the very next cycle an event.  (Whether
@@ -709,6 +726,7 @@ Transaction* Simulator::make_txn(TxnKind kind, std::uint32_t line_addr,
   txn->is_lock_op = lock_op;
   txn->issued_cycle = cycle_;
   txn->created_cycle = cycle_;
+  txn->dsm_extra_cycles = dsm_extra_cycles(line_addr, requester);
   active_.emplace(txn->id, std::move(owned));
 
   const bool counts_for_fence = !txn->is_lock_op && kind != TxnKind::kWriteBack &&
@@ -717,6 +735,16 @@ Transaction* Simulator::make_txn(TxnKind kind, std::uint32_t line_addr,
     ++outstanding_fence_[static_cast<std::uint32_t>(requester)];
   }
   return txn;
+}
+
+std::uint32_t Simulator::dsm_extra_cycles(std::uint32_t line_addr,
+                                          std::int32_t requester) const {
+  // Reflections and memory-internal work (requester < 0) are directory-local;
+  // only processor requests whose home node differs pay the remote hop.
+  if (mem_model_ != MemModelKind::kDsm || requester < 0) return 0;
+  const std::uint32_t home = dsm_home_of(line_addr);
+  const std::uint32_t node = dsm_node_of(static_cast<std::uint32_t>(requester));
+  return home == node ? 0 : cfg_.dsm.remote_access_cycles;
 }
 
 Transaction* Simulator::find_proc_txn(std::uint32_t proc,
@@ -747,8 +775,24 @@ void Simulator::arbitrate() {
   // scan below cannot grant anything.
   if (active_.empty()) return;
   const std::uint32_t ports = static_cast<std::uint32_t>(procs_.size()) + 1;
-  for (std::uint32_t offset = 0; offset < ports; ++offset) {
-    const std::uint32_t port = bus_.rr_port(offset);
+  if (discipline_->needs_stamps()) {
+    // Stamp-aware disciplines (FCFS) order ports by when each head request
+    // reached the bus queue.  Same-cycle issues are not grant-eligible yet
+    // (the arbiter never grants a request the cycle it was issued), so they
+    // rank as absent.
+    for (std::uint32_t p = 0; p + 1 < ports; ++p) {
+      Transaction* head = ifaces_[p]->head();
+      const bool eligible = head != nullptr && head->issued_cycle != cycle_;
+      arb_req_[p] = bus::ArbRequest{eligible, eligible ? head->issued_cycle : 0};
+    }
+    Transaction* response = memory_.pending_response();
+    const bool eligible = response != nullptr && response->issued_cycle != cycle_;
+    arb_req_[ports - 1] =
+        bus::ArbRequest{eligible, eligible ? response->issued_cycle : 0};
+  }
+  discipline_->scan_order(arb_req_.data(), arb_order_.data());
+  for (std::uint32_t i = 0; i < ports; ++i) {
+    const std::uint32_t port = arb_order_[i];
     if (port == ports - 1) {
       Transaction* response = memory_.pending_response();
       if (response == nullptr || response->issued_cycle == cycle_) continue;
@@ -757,7 +801,7 @@ void Simulator::arbitrate() {
       }
       memory_.pop_response();
       response->phase = TxnPhase::kOnBusResp;
-      bus_.granted(port);
+      discipline_->record_grant(port, cycle_ - response->issued_cycle, true);
       bus_.occupy(response, bus_.config().data_cycles);
       return;
     }
@@ -805,7 +849,7 @@ bool Simulator::try_grant(std::uint32_t port) {
   txn->kind = effective;
   txn->granted_cycle = cycle_;
   txn->phase = TxnPhase::kOnBusReq;
-  bus_.granted(port);
+  discipline_->record_grant(port, cycle_ - txn->issued_cycle, false);
   line_inflight_.emplace(txn->line_addr, txn);
 
   std::uint32_t occupancy = bus_.config().request_cycles;
@@ -1218,6 +1262,11 @@ SimulationResult Simulator::collect_results() const {
   result.barrier_wait_cycles = barrier_wait_;
   result.barrier_waiters_at_arrival = barrier_waiters_at_arrival_;
   result.traffic = traffic_;
+  result.discipline.name = discipline_->name();
+  result.discipline.grants = discipline_->stats().grants;
+  result.discipline.memory_grants = discipline_->stats().memory_grants;
+  result.discipline.max_grant_wait = discipline_->stats().max_grant_wait;
+  result.discipline.grant_wait = discipline_->stats().grant_wait;
 
   std::uint64_t stall_cache = 0, stall_lock = 0, stall_fence = 0;
   double util_sum = 0.0;

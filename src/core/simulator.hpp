@@ -21,6 +21,7 @@
 
 #include "bus/bus.hpp"
 #include "bus/interface.hpp"
+#include "bus/service_discipline.hpp"
 #include "cache/cache.hpp"
 #include "core/event_queue.hpp"
 #include "core/machine_config.hpp"
@@ -145,6 +146,20 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
 
   // Introspection for tests/benches.
   [[nodiscard]] const bus::Bus& bus() const { return bus_; }
+  /// The service discipline the arbiter consults (config + environment).
+  [[nodiscard]] const bus::ServiceDiscipline& bus_discipline() const {
+    return *discipline_;
+  }
+  /// The memory cost model in effect (config + environment).
+  [[nodiscard]] MemModelKind mem_model() const { return mem_model_; }
+  /// DSM geometry helpers (meaningful under MemModelKind::kDsm; under the
+  /// uniform bus model every access is "local").
+  [[nodiscard]] std::uint32_t dsm_node_of(std::uint32_t proc) const {
+    return proc / dsm_procs_per_node_;
+  }
+  [[nodiscard]] std::uint32_t dsm_home_of(std::uint32_t line_addr) const {
+    return (line_addr / cfg_.cache.line_bytes) % cfg_.dsm.nodes;
+  }
   [[nodiscard]] const mem::Memory& memory() const { return memory_; }
   [[nodiscard]] const cache::Cache& cache_of(std::uint32_t proc) const {
     return *caches_[proc];
@@ -185,7 +200,6 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
 
  private:
   void arbitrate();
-  void grant_memory_response();
   bool try_grant(std::uint32_t port);
   void snoop_others(bus::Transaction* txn);
   void complete_bus(bus::Transaction* txn);
@@ -249,6 +263,18 @@ class Simulator final : public sync::SchemeServices, public bus::BusObserver {
   std::vector<std::unique_ptr<bus::BusInterface>> ifaces_;
   std::vector<std::unique_ptr<Processor>> procs_;
   bus::Bus bus_;
+  std::unique_ptr<bus::ServiceDiscipline> discipline_;
+  // Arbitration scratch (sized once): the discipline's port permutation and,
+  // for stamp-aware disciplines, the per-port request view.
+  std::vector<std::uint32_t> arb_order_;
+  std::vector<bus::ArbRequest> arb_req_;
+  MemModelKind mem_model_ = MemModelKind::kBus;
+  std::uint32_t dsm_procs_per_node_ = 1;
+  /// Extra memory service cycles the DSM model charges a request by
+  /// `requester` on `line_addr` (0 under the bus model, for reflections, and
+  /// for node-local accesses).
+  [[nodiscard]] std::uint32_t dsm_extra_cycles(std::uint32_t line_addr,
+                                               std::int32_t requester) const;
   mem::Memory memory_;
   sync::LockStatsCollector lock_stats_;
   std::unique_ptr<sync::LockScheme> scheme_;

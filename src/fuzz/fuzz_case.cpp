@@ -118,6 +118,41 @@ FuzzCase FuzzCase::generate(std::uint64_t master_seed, std::uint64_t index) {
   c.short_fraction = rng.chance(0.25) ? quantized(rng, 0.0, 0.5) : 0.0;
   c.partitioned = rng.chance(0.2);
   c.barriers = rng.chance(0.3) ? rng.below(5) : 0;
+
+  // PR 9 axes, drawn strictly after every historical field so an old
+  // (seed, index) pair reproduces its historical machine+workload half
+  // bit-for-bit before the new draws perturb the stream.
+  constexpr bus::DisciplineKind kDisciplines[] = {
+      bus::DisciplineKind::kRoundRobin, bus::DisciplineKind::kFixedPriority,
+      bus::DisciplineKind::kFcfs};
+  c.bus_discipline = kDisciplines[rng.below(bus::kNumDisciplines)];
+  if (c.scheme == sync::SchemeKind::kTas &&
+      c.bus_discipline == bus::DisciplineKind::kFixedPriority) {
+    // Pure priority arbitration starves a plain test&set releaser forever:
+    // the spinners' unthrottled ReadX retry stream always outranks a
+    // lower-priority holder's release write, so the simulation faithfully
+    // livelocks to max_cycles.  A real result (the classic argument for
+    // fair bus arbitration) — demonstrated by a bounded unit test, not by
+    // the fuzzer, whose cases must terminate.  Backoff'd TAS is safe: its
+    // 1024-cycle retry cap leaves idle arbitration slots.
+    c.bus_discipline = bus::DisciplineKind::kFcfs;
+  }
+  if (rng.chance(0.25)) {
+    c.mem_model = core::MemModelKind::kDsm;
+    c.dsm_nodes = 1u << rng.below(3);  // 1/2/4 home nodes
+    c.dsm_remote_cycles = static_cast<std::uint32_t>(rng.range(4, 48));
+  }
+  // Occasionally a large machine (the PR 9 hardening sweep's territory).
+  // The workload shrinks with it: every case also runs per-cycle under the
+  // invariant checker, and P x refs is the cost driver.
+  if (rng.chance(0.15)) {
+    constexpr std::uint32_t kBigProcs[] = {16, 24, 32, 48, 64, 96, 128};
+    c.num_procs = kBigProcs[rng.below(7)];
+    c.refs_per_proc = 50 + rng.below(251);  // 50..300
+    c.lock_pairs = rng.below(9);
+    c.nested_pairs = c.lock_pairs > 1 ? rng.below(c.lock_pairs / 2 + 1) : 0;
+    c.barriers = rng.chance(0.3) ? rng.below(3) : 0;
+  }
   return c;
 }
 
@@ -135,6 +170,10 @@ core::MachineConfig FuzzCase::machine_config() const {
   cfg.memory.output_depth = mem_out_depth;
   cfg.consistency = consistency;
   cfg.lock_scheme = scheme;
+  cfg.bus_discipline = bus_discipline;
+  cfg.model = mem_model;
+  cfg.dsm.nodes = dsm_nodes;
+  cfg.dsm.remote_access_cycles = dsm_remote_cycles;
   return cfg;
 }
 
@@ -171,7 +210,11 @@ std::string FuzzCase::describe() const {
       << associativity << "w/2^" << sets_log2 << " bus " << bus_bytes
       << "B buf " << buffer_depth << " mem " << mem_cycles << "cy, refs "
       << refs_per_proc << " pairs " << lock_pairs << " locks " << num_locks
-      << " barriers " << barriers;
+      << " barriers " << barriers << " arb "
+      << bus::discipline_name(bus_discipline);
+  if (mem_model == core::MemModelKind::kDsm) {
+    out << " dsm " << dsm_nodes << "n/+" << dsm_remote_cycles << "cy";
+  }
   return out.str();
 }
 
@@ -210,6 +253,10 @@ std::string FuzzCase::to_text() const {
   out << "short_fraction " << double_text(short_fraction) << "\n";
   out << "partitioned " << (partitioned ? 1 : 0) << "\n";
   out << "barriers " << barriers << "\n";
+  out << "bus_discipline " << bus::discipline_name(bus_discipline) << "\n";
+  out << "mem_model " << core::mem_model_name(mem_model) << "\n";
+  out << "dsm_nodes " << dsm_nodes << "\n";
+  out << "dsm_remote_cycles " << dsm_remote_cycles << "\n";
   return out.str();
 }
 
@@ -236,6 +283,15 @@ FuzzCase FuzzCase::from_text(const std::string& text) {
     if (it == kv.end()) {
       throw std::invalid_argument(std::string("repro missing key: ") + k);
     }
+    std::string v = it->second;
+    kv.erase(it);
+    return v;
+  };
+  // PR 9 keys are optional with defaults: repro files written before the
+  // discipline/model axes existed must keep replaying unchanged.
+  auto take_opt = [&kv](const char* k, const char* dflt) {
+    const auto it = kv.find(k);
+    if (it == kv.end()) return std::string(dflt);
     std::string v = it->second;
     kv.erase(it);
     return v;
@@ -282,6 +338,12 @@ FuzzCase FuzzCase::from_text(const std::string& text) {
   c.short_fraction = take_double("short_fraction");
   c.partitioned = take_u64("partitioned") != 0;
   c.barriers = take_u64("barriers");
+  c.bus_discipline =
+      bus::discipline_from_name(take_opt("bus_discipline", "round-robin"));
+  c.mem_model = core::mem_model_from_name(take_opt("mem_model", "bus"));
+  c.dsm_nodes = util::parse_u32(take_opt("dsm_nodes", "4"), "dsm_nodes");
+  c.dsm_remote_cycles =
+      util::parse_u32(take_opt("dsm_remote_cycles", "20"), "dsm_remote_cycles");
 
   if (!kv.empty()) {
     throw std::invalid_argument("unknown key in repro: " + kv.begin()->first);
@@ -301,6 +363,9 @@ FuzzCase FuzzCase::from_text(const std::string& text) {
   }
   if (c.num_locks == 0 || c.nested_pairs > c.lock_pairs) {
     throw std::invalid_argument("repro locking model out of range");
+  }
+  if (c.dsm_nodes == 0) {
+    throw std::invalid_argument("repro dsm_nodes must be positive");
   }
   return c;
 }

@@ -38,6 +38,12 @@ struct FuzzCase {
   bus::ConsistencyModel consistency = bus::ConsistencyModel::kSequential;
   cache::WritePolicy write_policy = cache::WritePolicy::kWriteBack;
   sync::SchemeKind scheme = sync::SchemeKind::kQueuing;
+  // PR 9 axes.  Optional keys in the repro format (defaults below) so every
+  // pre-existing repro file still parses.
+  bus::DisciplineKind bus_discipline = bus::DisciplineKind::kRoundRobin;
+  core::MemModelKind mem_model = core::MemModelKind::kBus;
+  std::uint32_t dsm_nodes = 4;           // consulted only when mem_model=dsm
+  std::uint32_t dsm_remote_cycles = 20;  // ditto
 
   // --- workload --------------------------------------------------------
   std::uint64_t workload_seed = 0x5eed;

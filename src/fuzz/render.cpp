@@ -34,6 +34,11 @@ std::string render_result(const core::SimulationResult& r) {
     out << " " << r.locks.transfer_hist.bucket_count(i);
   }
   out << "\n";
+  out << "discipline=" << r.discipline.name
+      << " grants=" << r.discipline.grants << ","
+      << r.discipline.memory_grants
+      << " max_wait=" << r.discipline.max_grant_wait << "\n";
+  render_stat(out, "grant_wait", r.discipline.grant_wait);
   out << "bus_util=" << r.bus_utilization << " traffic=" << r.traffic.reads
       << "," << r.traffic.readx << "," << r.traffic.upgrades << ","
       << r.traffic.writebacks << "," << r.traffic.handoffs << ","

@@ -103,12 +103,25 @@ bool simplest_scheme(FuzzCase& c) {
   return true;
 }
 
+bool default_arbitration(FuzzCase& c) {
+  if (c.bus_discipline == bus::DisciplineKind::kRoundRobin) return false;
+  c.bus_discipline = bus::DisciplineKind::kRoundRobin;
+  return true;
+}
+
+bool uniform_memory(FuzzCase& c) {
+  if (c.mem_model == core::MemModelKind::kBus) return false;
+  c.mem_model = core::MemModelKind::kBus;
+  return true;
+}
+
 // Most-reductive passes first: a win on processors or references shrinks
 // every later oracle run, so try those before the cosmetic knobs.
 constexpr Pass kPasses[] = {
     halve_procs,    truncate_workload, halve_lock_pairs, drop_nesting,
     single_lock,    drop_barriers,     shrink_cache,     direct_mapped,
     plain_locality, default_memory,    sequential_writeback, simplest_scheme,
+    default_arbitration, uniform_memory,
 };
 
 }  // namespace

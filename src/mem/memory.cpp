@@ -5,7 +5,10 @@ namespace syncpat::mem {
 void Memory::tick() {
   if (active_ == nullptr && !input_.empty()) {
     active_ = input_.pop_front();
-    remaining_ = config_.access_cycles;
+    // DSM remote accesses pay their node-hop on top of the base access time;
+    // folding it into remaining_ keeps next_event_delta()/advance() (the DES
+    // span contract) correct without a special case.
+    remaining_ = config_.access_cycles + active_->dsm_extra_cycles;
   }
   if (active_ == nullptr) return;
 

@@ -13,6 +13,7 @@ const char* stall_cat_name(StallCat cat) {
     case StallCat::kMemoryLatency: return "memory_latency";
     case StallCat::kWriteBufferFull: return "write_buffer_full";
     case StallCat::kInvalidationRefill: return "invalidation_refill";
+    case StallCat::kRemoteAccess: return "remote_access";
   }
   return "?";
 }

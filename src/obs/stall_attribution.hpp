@@ -36,9 +36,10 @@ enum class StallCat : std::uint8_t {
   kMemoryLatency,        // transaction inside the memory module
   kWriteBufferFull,      // structural stall or weak-ordering fence drain
   kInvalidationRefill,   // re-fetch of a line invalidated by another processor
+  kRemoteAccess,         // DSM model: memory wait of a remote-home access
 };
 
-inline constexpr std::size_t kNumStallCats = 9;
+inline constexpr std::size_t kNumStallCats = 10;
 
 [[nodiscard]] const char* stall_cat_name(StallCat cat);
 

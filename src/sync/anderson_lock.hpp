@@ -44,6 +44,9 @@ class AndersonLock final : public LockScheme {
   /// The cache line of array slot `slot` of the lock at `lock_line`.
   [[nodiscard]] std::uint32_t slot_line(std::uint32_t lock_line,
                                         std::uint32_t slot) const;
+  /// Lines in the per-lock slot ring: max(64, bit_ceil(num_procs)), so every
+  /// outstanding waiter spins on its own line at any machine size.
+  [[nodiscard]] std::uint32_t slot_ring_size() const;
 
  private:
   struct LockState {

@@ -6,6 +6,8 @@
 //
 //   [0x0000_0000, 0x4000_0000)  code
 //   [0x4000_0000, 0x8000_0000)  private data, 16 MiB segment per processor
+//                               (procs >= 64 interleave into 256 KiB
+//                               sub-segments; see private_addr)
 //   [0x8000_0000, 0xf000_0000)  shared data
 //   [0xf000_0000, ...)          locks, one 64-byte-aligned word per lock
 //
@@ -26,6 +28,13 @@ class AddressMap {
   static constexpr std::uint32_t kCodeBase = 0x0000'0000u;
   static constexpr std::uint32_t kPrivateBase = 0x4000'0000u;
   static constexpr std::uint32_t kPrivateSegment = 16u << 20;  // 16 MiB / proc
+  /// The private region holds 64 macro-segments; processors 64 and above
+  /// interleave into 256 KiB sub-segments (see private_addr), capping the
+  /// supported machine size at 64 * 64 = 4096 processors.
+  static constexpr std::uint32_t kMacroSegments = 64;
+  static constexpr std::uint32_t kPrivateSubSegment =
+      kPrivateSegment / kMacroSegments;  // 256 KiB
+  static constexpr std::uint32_t kMaxProcs = kMacroSegments * kMacroSegments;
   static constexpr std::uint32_t kSharedBase = 0x8000'0000u;
   static constexpr std::uint32_t kLockBase = 0xf000'0000u;
   static constexpr std::uint32_t kLockStride = 64;

@@ -17,6 +17,12 @@ namespace {
 constexpr std::uint32_t kCodeWorkingSet = 16 * 1024;  // loop working set
 constexpr double kJumpProbability = 1.0 / 64.0;       // taken-branch rate
 constexpr double kLockOpGap = 2.0;                    // cycles per lock insn
+// Budget for the per-processor cold ("streaming array") slices: they must
+// stay below the critical-section data regions at shared offset 0x2000'0000,
+// with headroom for the hot pools stacked on top of them.  384 MiB keeps
+// every historical configuration (cold slices were never clamped below
+// P = 97) bit-identical.
+constexpr std::uint64_t kColdRegionBudget = 0x1800'0000ull;
 }  // namespace
 
 ProfileTraceSource::ProfileTraceSource(const BenchmarkProfile& profile,
@@ -33,8 +39,12 @@ void ProfileTraceSource::reset() {
   pc_ = AddressMap::code_addr((proc_ * 4096) % kCodeWorkingSet);
   last_shared_line_ = AddressMap::shared_addr(0);
   cold_pos_ = 0;
-  last_cold_addr_ =
-      AddressMap::shared_addr(proc_ * profile_.locality.cold_region_bytes);
+  // Historically this computed proc_ * cold_region_bytes unconditionally,
+  // which overflowed the shared region (assert) for large P even with the
+  // cold stream disabled.  The clamped slice is 0 when there is no cold
+  // stream and last_cold_addr_ is then never read before a cold load sets it.
+  cold_slice_ = cold_slice_bytes();
+  last_cold_addr_ = AddressMap::shared_addr(proc_ * cold_slice_);
   barriers_emitted_ = 0;
   barrier_interval_ =
       profile_.locking.barriers_per_proc > 0
@@ -78,6 +88,20 @@ void ProfileTraceSource::reset() {
     nested_probability_ = 0.0;
     burst_window_refs_ = 0;
   }
+}
+
+std::uint32_t ProfileTraceSource::cold_slice_bytes() const {
+  const LocalityModel& loc = profile_.locality;
+  if (loc.cold_fraction <= 0.0) return 0;
+  const std::uint64_t want = loc.cold_region_bytes;
+  if (want * profile_.num_procs <= kColdRegionBudget) {
+    return loc.cold_region_bytes;
+  }
+  // Scale the per-processor slice down so P slices fit the budget, keeping
+  // the streaming-march behavior at any machine size (64-byte floor so a
+  // slice always spans whole cache lines).
+  const std::uint64_t slice = (kColdRegionBudget / profile_.num_procs) & ~63ull;
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(slice, 64));
 }
 
 bool ProfileTraceSource::in_burst_window() const {
@@ -175,7 +199,7 @@ Event ProfileTraceSource::make_data_ref(bool force_shared) {
     // region (Qsort's array).  Stores re-touch the last loaded address —
     // "the reads almost always precede the exchanges of the same lines"
     // (§4.2) — so they hit; loads advance the stream.
-    const std::uint32_t slice = loc.cold_region_bytes;
+    const std::uint32_t slice = cold_slice_;
     const std::uint32_t base = proc_ * slice;
     if (op == Op::kStore) {
       // Exchange into the line the last cold load fetched: a write hit.
@@ -196,8 +220,7 @@ Event ProfileTraceSource::make_data_ref(bool force_shared) {
   // Hot shared data lives above the cold slices so the regions never alias;
   // slice 0 is the common (truly contended) pool, slices 1..P are the
   // per-processor affinity partitions.
-  const std::uint32_t hot_base =
-      profile_.num_procs * (loc.cold_fraction > 0.0 ? loc.cold_region_bytes : 0);
+  const std::uint32_t hot_base = profile_.num_procs * cold_slice_;
   const std::uint32_t slice =
       rng_.chance(loc.shared_affinity) ? (1 + proc_) * loc.shared_hot_bytes : 0;
   last_shared_line_ = AddressMap::shared_addr(hot_base + slice + pool_off);

@@ -60,6 +60,11 @@ class ProfileTraceSource final : public trace::TraceSource {
   std::uint32_t last_shared_line_ = 0;
   std::uint32_t cold_pos_ = 0;
   std::uint32_t last_cold_addr_ = 0;
+  std::uint32_t cold_slice_ = 0;     // per-processor cold slice, clamped so
+                                     // P slices fit the shared region (see
+                                     // cold_slice_bytes)
+
+  [[nodiscard]] std::uint32_t cold_slice_bytes() const;
 };
 
 /// Builds a full program trace (one generator per processor).

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bus/service_discipline.hpp"
+
 namespace syncpat::bus {
 namespace {
 
@@ -43,15 +45,83 @@ TEST(Bus, UtilizationCountsBusyCycles) {
   EXPECT_DOUBLE_EQ(bus.utilization(), 0.5);
 }
 
-TEST(Bus, RoundRobinRotatesAfterGrant) {
-  Bus bus(BusConfig{.ports = 3});
-  EXPECT_EQ(bus.rr_port(0), 0u);
-  bus.granted(0);
-  EXPECT_EQ(bus.rr_port(0), 1u);
-  EXPECT_EQ(bus.rr_port(1), 2u);
-  EXPECT_EQ(bus.rr_port(2), 0u);
-  bus.granted(2);
-  EXPECT_EQ(bus.rr_port(0), 0u);
+TEST(ServiceDiscipline, RoundRobinRotatesAfterGrant) {
+  RoundRobinDiscipline rr(3);
+  EXPECT_EQ(rr.peek(0), 0u);
+  rr.record_grant(0, 0, false);
+  EXPECT_EQ(rr.peek(0), 1u);
+  EXPECT_EQ(rr.peek(1), 2u);
+  EXPECT_EQ(rr.peek(2), 0u);
+  rr.record_grant(2, 0, false);
+  EXPECT_EQ(rr.peek(0), 0u);
+}
+
+TEST(ServiceDiscipline, RoundRobinScanOrderMatchesPeek) {
+  RoundRobinDiscipline rr(4);
+  rr.record_grant(1, 0, false);
+  std::uint32_t order[4];
+  rr.scan_order(nullptr, order);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 1u);
+}
+
+TEST(ServiceDiscipline, FixedPriorityPutsMemoryFirstThenIdOrder) {
+  FixedPriorityDiscipline fp(5);
+  std::uint32_t order[5];
+  fp.scan_order(nullptr, order);
+  EXPECT_EQ(order[0], 4u);  // memory response port
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 2u);
+  EXPECT_EQ(order[4], 3u);
+  // Grants never change the static order.
+  fp.record_grant(2, 7, false);
+  fp.scan_order(nullptr, order);
+  EXPECT_EQ(order[0], 4u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(ServiceDiscipline, FcfsOrdersByStampThenPort) {
+  FcfsDiscipline fcfs(4);
+  ASSERT_TRUE(fcfs.needs_stamps());
+  const ArbRequest req[4] = {
+      {.present = true, .stamp = 30},
+      {.present = false, .stamp = 0},
+      {.present = true, .stamp = 10},
+      {.present = true, .stamp = 30},  // tie with port 0: lower port first
+  };
+  std::uint32_t order[4];
+  fcfs.scan_order(req, order);
+  EXPECT_EQ(order[0], 2u);  // oldest
+  EXPECT_EQ(order[1], 0u);  // stamp tie broken by port id
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(order[3], 1u);  // requestless ports trail
+}
+
+TEST(ServiceDiscipline, StatsTrackGrantsAndWaits) {
+  RoundRobinDiscipline rr(3);
+  rr.record_grant(0, 4, false);
+  rr.record_grant(2, 10, true);
+  rr.record_grant(1, 1, false);
+  EXPECT_EQ(rr.stats().grants, 2u);
+  EXPECT_EQ(rr.stats().memory_grants, 1u);
+  EXPECT_EQ(rr.stats().max_grant_wait, 10u);
+  EXPECT_EQ(rr.stats().grant_wait.count(), 3u);
+  EXPECT_DOUBLE_EQ(rr.stats().grant_wait.mean(), 5.0);
+}
+
+TEST(ServiceDiscipline, NamesRoundTripStrictly) {
+  for (const DisciplineKind k :
+       {DisciplineKind::kRoundRobin, DisciplineKind::kFixedPriority,
+        DisciplineKind::kFcfs}) {
+    EXPECT_EQ(discipline_from_name(discipline_name(k)), k);
+  }
+  for (const char* junk : {"roundrobin", "", "FCFS"}) {
+    EXPECT_THROW(static_cast<void>(discipline_from_name(junk)),
+                 std::invalid_argument);
+  }
 }
 
 TEST(Bus, TxnKindNames) {
