@@ -6,7 +6,7 @@
 //                           .sptrace file written by save_program_trace
 //                           (default Grav)
 //     --scheme NAME         queuing|queuing-exact|ttas|tas|tas-backoff|
-//                           ticket|anderson (default queuing)
+//                           ticket|anderson|mcs|clh (default queuing)
 //     --consistency NAME    sequential|weak (default sequential)
 //     --write-policy NAME   write-back|write-through (default write-back)
 //     --scale N             trace length divisor, >= 1 (default 8)
@@ -32,7 +32,8 @@
 //                           byte-identical (CLI spelling of SYNCPAT_ENGINE)
 //     --no-fast-forward     deprecated: selects the tick engine with its
 //                           quiescence run-ahead disabled (the historical
-//                           per-cycle reference mode); use --engine=tick
+//                           per-cycle reference mode); use --engine=tick.
+//                           Conflicts with an explicit --engine=des (exit 2)
 //     --sweep               run every scheme x both memory models on the
 //                           parallel engine and print a comparison table
 //                           (profiles only)
@@ -154,6 +155,9 @@ std::uint32_t numeric32(const std::string& flag, const std::string& text) {
 
 Options parse(int argc, char** argv) {
   Options opt;
+  bool engine_given = false;
+  bool no_fast_forward_given = false;
+  core::EngineKind explicit_engine = core::EngineKind::kDes;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -223,6 +227,8 @@ Options parse(int argc, char** argv) {
                   << name << "\"\n";
         std::exit(2);
       }
+      engine_given = true;
+      explicit_engine = opt.engine;
     }
     else if (arg == "--no-fast-forward") {
       // Deprecated alias preserved for scripts: historical per-cycle mode.
@@ -230,6 +236,7 @@ Options parse(int argc, char** argv) {
                    "legacy tick engine (use --engine des|tick)\n";
       opt.engine = core::EngineKind::kTick;
       opt.fast_forward = false;
+      no_fast_forward_given = true;
     }
     else if (arg == "--trace-out") opt.trace_out = value();
     else if (arg == "--trace-events") {
@@ -250,6 +257,16 @@ Options parse(int argc, char** argv) {
     else if (arg == "--csv") opt.csv = true;
     else if (arg == "--validate") opt.validate = true;
     else usage(argv[0]);
+  }
+  // --no-fast-forward *is* the tick engine; combining it with an explicit
+  // --engine=des asks for two different engines at once.  Historically the
+  // last flag silently won; now the contradiction is an error regardless of
+  // flag order.  (--engine tick --no-fast-forward agree and stay legal.)
+  if (no_fast_forward_given && engine_given &&
+      explicit_engine == core::EngineKind::kDes) {
+    std::cerr << "error: --no-fast-forward selects the tick engine and "
+                 "conflicts with --engine=des; drop one of the flags\n";
+    std::exit(2);
   }
   return opt;
 }

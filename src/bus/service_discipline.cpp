@@ -29,23 +29,44 @@ DisciplineKind discipline_from_name(const std::string& name) {
 }
 
 void RoundRobinDiscipline::scan_order(const ArbRequest* /*req*/,
+                                      std::uint64_t /*now*/,
                                       std::uint32_t* out) {
   for (std::uint32_t i = 0; i < ports_; ++i) {
     out[i] = (next_ + i) % ports_;
   }
 }
 
-void FixedPriorityDiscipline::scan_order(const ArbRequest* /*req*/,
+void FixedPriorityDiscipline::scan_order(const ArbRequest* req,
+                                         std::uint64_t now,
                                          std::uint32_t* out) {
-  // Memory responses drain first (they hold a line slot and block retries),
-  // then the static processor chain.
+  SYNCPAT_ASSERT(req != nullptr);
+  // Memory responses drain first (they hold a line slot and block retries).
   out[0] = ports_ - 1;
-  for (std::uint32_t i = 1; i < ports_; ++i) {
-    out[i] = i - 1;
+  // Aging escape: find the oldest queued processor request (stamp, port id
+  // breaking ties — the id-order scan below never considers a later port
+  // with an equal stamp first, so <, not <=, keeps the scan deterministic).
+  std::uint32_t oldest = ports_;
+  for (std::uint32_t p = 0; p + 1 < ports_; ++p) {
+    if (req[p].present &&
+        (oldest == ports_ || req[p].stamp < req[oldest].stamp)) {
+      oldest = p;
+    }
+  }
+  std::uint32_t idx = 1;
+  if (oldest != ports_ &&
+      now - req[oldest].stamp >= kStarvationEscapeCycles) {
+    // Bounded priority inversion: one starving request jumps the chain.
+    out[idx++] = oldest;
+  } else {
+    oldest = ports_;  // nobody promoted; emit the pure static chain
+  }
+  for (std::uint32_t p = 0; p + 1 < ports_; ++p) {
+    if (p != oldest) out[idx++] = p;
   }
 }
 
-void FcfsDiscipline::scan_order(const ArbRequest* req, std::uint32_t* out) {
+void FcfsDiscipline::scan_order(const ArbRequest* req, std::uint64_t /*now*/,
+                                std::uint32_t* out) {
   SYNCPAT_ASSERT(req != nullptr);
   for (std::uint32_t i = 0; i < ports_; ++i) {
     out[i] = i;

@@ -10,8 +10,10 @@
 //     byte-identical to the pre-seam behavior, which the golden tables and
 //     the engine-differential suite pin;
 //   * fixed-priority: memory responses first, then processors in id order —
-//     the static-priority daisy chain; low ids can starve high ids, which
-//     the fairness tests demonstrate;
+//     the static-priority daisy chain; low ids starve high ids on short
+//     horizons (the fairness tests demonstrate the skew), but a bounded
+//     aging escape promotes the oldest waiter past the chain so no request
+//     is deferred forever;
 //   * fcfs: the globally oldest queued request wins (first-come first-served
 //     / queued discipline), using each head transaction's bus-queue arrival
 //     stamp.
@@ -65,8 +67,10 @@ class ServiceDiscipline {
 
   /// Writes a permutation of [0, ports) into `out`, highest grant priority
   /// first.  `req` has one entry per port (`req[ports-1]` is the memory
-  /// response port) and may be null when needs_stamps() is false.
-  virtual void scan_order(const ArbRequest* req, std::uint32_t* out) = 0;
+  /// response port) and may be null when needs_stamps() is false; `now` is
+  /// the current bus cycle, for disciplines that age requests.
+  virtual void scan_order(const ArbRequest* req, std::uint64_t now,
+                          std::uint32_t* out) = 0;
 
   /// True when scan_order() reads the per-port request stamps; the caller
   /// then fills an ArbRequest per port before calling it.
@@ -101,7 +105,8 @@ class ServiceDiscipline {
 class RoundRobinDiscipline final : public ServiceDiscipline {
  public:
   using ServiceDiscipline::ServiceDiscipline;
-  void scan_order(const ArbRequest* req, std::uint32_t* out) override;
+  void scan_order(const ArbRequest* req, std::uint64_t now,
+                  std::uint32_t* out) override;
   [[nodiscard]] DisciplineKind kind() const override {
     return DisciplineKind::kRoundRobin;
   }
@@ -121,10 +126,27 @@ class RoundRobinDiscipline final : public ServiceDiscipline {
 };
 
 /// Static priority: memory responses, then processors in ascending id order.
+///
+/// Pure static priority livelocks: an unthrottled test&set retry stream from
+/// low-id spinners outranks a higher-id holder's release write forever (the
+/// fuzz-discovered seed-24245/case-3 hang).  Real daisy-chain arbiters bound
+/// the inversion with a fairness timeout (e.g. Futurebus+ priority-with-
+/// fairness mode); this one promotes the single oldest queued processor
+/// request ahead of the chain once it has waited kStarvationEscapeCycles.
+/// Short-horizon behaviour stays id-ordered — the fairness skew the
+/// discipline exists to model survives — but every request is granted within
+/// a bounded window, so the bus is livelock-free under any scheme.
 class FixedPriorityDiscipline final : public ServiceDiscipline {
  public:
+  /// Cycles a queued request may be passed over before it jumps the chain.
+  /// Large against a lock hand-off (tens of cycles), small against the
+  /// simulator's 500k-cycle progress watchdog and test cycle budgets.
+  static constexpr std::uint64_t kStarvationEscapeCycles = 1024;
+
   using ServiceDiscipline::ServiceDiscipline;
-  void scan_order(const ArbRequest* req, std::uint32_t* out) override;
+  void scan_order(const ArbRequest* req, std::uint64_t now,
+                  std::uint32_t* out) override;
+  [[nodiscard]] bool needs_stamps() const override { return true; }
   [[nodiscard]] DisciplineKind kind() const override {
     return DisciplineKind::kFixedPriority;
   }
@@ -135,7 +157,8 @@ class FixedPriorityDiscipline final : public ServiceDiscipline {
 class FcfsDiscipline final : public ServiceDiscipline {
  public:
   using ServiceDiscipline::ServiceDiscipline;
-  void scan_order(const ArbRequest* req, std::uint32_t* out) override;
+  void scan_order(const ArbRequest* req, std::uint64_t now,
+                  std::uint32_t* out) override;
   [[nodiscard]] bool needs_stamps() const override { return true; }
   [[nodiscard]] DisciplineKind kind() const override {
     return DisciplineKind::kFcfs;

@@ -18,7 +18,9 @@ namespace {
   // enqueue admits a benign reordering window (§2.4).
   return kind == sync::SchemeKind::kQueuing ||
          kind == sync::SchemeKind::kTicket ||
-         kind == sync::SchemeKind::kAnderson;
+         kind == sync::SchemeKind::kAnderson ||
+         kind == sync::SchemeKind::kMcs ||
+         kind == sync::SchemeKind::kClh;
 }
 
 }  // namespace
@@ -776,10 +778,10 @@ void Simulator::arbitrate() {
   if (active_.empty()) return;
   const std::uint32_t ports = static_cast<std::uint32_t>(procs_.size()) + 1;
   if (discipline_->needs_stamps()) {
-    // Stamp-aware disciplines (FCFS) order ports by when each head request
-    // reached the bus queue.  Same-cycle issues are not grant-eligible yet
-    // (the arbiter never grants a request the cycle it was issued), so they
-    // rank as absent.
+    // Stamp-aware disciplines (FCFS ordering, fixed-priority aging) rank
+    // ports by when each head request reached the bus queue.  Same-cycle
+    // issues are not grant-eligible yet (the arbiter never grants a request
+    // the cycle it was issued), so they rank as absent.
     for (std::uint32_t p = 0; p + 1 < ports; ++p) {
       Transaction* head = ifaces_[p]->head();
       const bool eligible = head != nullptr && head->issued_cycle != cycle_;
@@ -790,7 +792,7 @@ void Simulator::arbitrate() {
     arb_req_[ports - 1] =
         bus::ArbRequest{eligible, eligible ? response->issued_cycle : 0};
   }
-  discipline_->scan_order(arb_req_.data(), arb_order_.data());
+  discipline_->scan_order(arb_req_.data(), cycle_, arb_order_.data());
   for (std::uint32_t i = 0; i < ports; ++i) {
     const std::uint32_t port = arb_order_[i];
     if (port == ports - 1) {

@@ -94,8 +94,16 @@ FuzzCase FuzzCase::generate(std::uint64_t master_seed, std::uint64_t index) {
                                   : bus::ConsistencyModel::kSequential;
   c.write_policy = rng.chance(0.25) ? cache::WritePolicy::kWriteThrough
                                     : cache::WritePolicy::kWriteBack;
-  const auto& schemes = sync::all_scheme_kinds();
-  c.scheme = schemes[rng.below(schemes.size())];
+  // Historical 7-scheme draw, frozen: all_scheme_kinds() has since grown
+  // (MCS, CLH), and drawing from the live list would change this draw's
+  // modulus and re-randomize every historical (seed, index) case.  The new
+  // schemes enter via an override draw appended after all historical draws.
+  constexpr sync::SchemeKind kHistoricalSchemes[] = {
+      sync::SchemeKind::kQueuing,    sync::SchemeKind::kQueuingExact,
+      sync::SchemeKind::kTtas,       sync::SchemeKind::kTas,
+      sync::SchemeKind::kTasBackoff, sync::SchemeKind::kTicket,
+      sync::SchemeKind::kAnderson};
+  c.scheme = kHistoricalSchemes[rng.below(7)];
 
   // Workload.
   c.workload_seed = rng.next_u64();
@@ -126,17 +134,11 @@ FuzzCase FuzzCase::generate(std::uint64_t master_seed, std::uint64_t index) {
       bus::DisciplineKind::kRoundRobin, bus::DisciplineKind::kFixedPriority,
       bus::DisciplineKind::kFcfs};
   c.bus_discipline = kDisciplines[rng.below(bus::kNumDisciplines)];
-  if (c.scheme == sync::SchemeKind::kTas &&
-      c.bus_discipline == bus::DisciplineKind::kFixedPriority) {
-    // Pure priority arbitration starves a plain test&set releaser forever:
-    // the spinners' unthrottled ReadX retry stream always outranks a
-    // lower-priority holder's release write, so the simulation faithfully
-    // livelocks to max_cycles.  A real result (the classic argument for
-    // fair bus arbitration) — demonstrated by a bounded unit test, not by
-    // the fuzzer, whose cases must terminate.  Backoff'd TAS is safe: its
-    // 1024-cycle retry cap leaves idle arbitration slots.
-    c.bus_discipline = bus::DisciplineKind::kFcfs;
-  }
+  // (Historically tas x fixed-priority was rerouted to fcfs here — pure
+  // priority starved a plain test&set releaser forever.  The discipline's
+  // aging escape bounds that inversion now, so the combination terminates
+  // and fuzzes like any other.  The reroute rewrote the field *after* the
+  // draw, so deleting it leaves the RNG stream untouched.)
   if (rng.chance(0.25)) {
     c.mem_model = core::MemModelKind::kDsm;
     c.dsm_nodes = 1u << rng.below(3);  // 1/2/4 home nodes
@@ -152,6 +154,14 @@ FuzzCase FuzzCase::generate(std::uint64_t master_seed, std::uint64_t index) {
     c.lock_pairs = rng.below(9);
     c.nested_pairs = c.lock_pairs > 1 ? rng.below(c.lock_pairs / 2 + 1) : 0;
     c.barriers = rng.chance(0.3) ? rng.below(3) : 0;
+  }
+  // PR 10 axis, appended after every prior draw (same reproducibility rule
+  // as the PR 9 block): sometimes override the frozen 7-scheme draw with one
+  // of the list-based queue locks, so MCS and CLH get fuzz coverage without
+  // re-randomizing historical cases' machine/workload halves.
+  if (rng.chance(0.2)) {
+    c.scheme = rng.chance(0.5) ? sync::SchemeKind::kMcs
+                               : sync::SchemeKind::kClh;
   }
   return c;
 }

@@ -1,0 +1,158 @@
+#include "model/predictor.hpp"
+
+#include <algorithm>
+
+namespace syncpat::model {
+
+double miss_cycles(const core::MachineConfig& cfg) {
+  // Arbitration (the request cannot be granted the cycle it is issued) +
+  // address phase + memory service + moving the line across the bus.
+  double m = 1.0 + 1.0 + static_cast<double>(cfg.memory.access_cycles) +
+             static_cast<double>(cfg.line_transfer_cycles());
+  if (cfg.model == core::MemModelKind::kDsm && cfg.dsm.nodes > 1) {
+    // Home nodes are line-interleaved, so a miss is remote with probability
+    // (nodes-1)/nodes.
+    const double remote_frac =
+        static_cast<double>(cfg.dsm.nodes - 1) / cfg.dsm.nodes;
+    m += remote_frac * static_cast<double>(cfg.dsm.remote_access_cycles);
+  }
+  return m;
+}
+
+double handoff_cycles(const core::MachineConfig& cfg, sync::SchemeKind scheme,
+                      double waiters) {
+  const double m = miss_cycles(cfg);
+  const double w = std::max(0.0, waiters);
+  // One bus transaction that never touches memory (grant, upgrade-like).
+  const double t_bus = 1.0 + static_cast<double>(cfg.line_transfer_cycles());
+  switch (scheme) {
+    case sync::SchemeKind::kQueuing:
+      // The paper's idealised queuing lock: the release *is* the grant — a
+      // directed notify, no memory round trip (Table 6 quotes ~1.2-1.5).
+      return t_bus;
+    case sync::SchemeKind::kQueuingExact:
+      // §2.4's exact variant adds two real bus transactions per hand-off.
+      return t_bus + 2.0 * t_bus;
+    case sync::SchemeKind::kTtas:
+      // Broadcast invalidate wakes every spinner; the herd's re-reads
+      // serialize on the bus ahead of the winner's test&set.
+      return m * (1.0 + 0.5 * w);
+    case sync::SchemeKind::kTas: {
+      // The transfer itself is one winning test&set (the retry storm hurts
+      // the *parallel* path through bus saturation, handled in predict()).
+      double h = 2.0 * m;
+      if (cfg.bus_discipline == bus::DisciplineKind::kFixedPriority) {
+        // Under static priority the retry storm outranks the holder's
+        // release write until the aging escape promotes it (and the winning
+        // high-id waiter's test&set can starve the same way right after),
+        // so a contended hand-off costs on the order of two escape windows.
+        h += 2.0 *
+             static_cast<double>(
+                 bus::FixedPriorityDiscipline::kStarvationEscapeCycles) *
+             std::min(1.0, w);
+      }
+      return h;
+    }
+    case sync::SchemeKind::kTasBackoff:
+      // The winner is asleep in its backoff window when the lock frees;
+      // the window roughly doubles per waiter present (capped far below
+      // the scheme's 1024-cycle retry cap since waiters desynchronise).
+      return std::min(512.0, m * (1.0 + w));
+    case sync::SchemeKind::kTicket:
+      // now-serving broadcast: one invalidation plus the waiters' refills,
+      // but only the successor's read is on the critical path — the rest
+      // overlap behind it.
+      return m * (1.0 + 0.25 * w);
+    case sync::SchemeKind::kAnderson:
+      // Targeted: the release writes exactly the successor's slot (one
+      // miss), the successor re-reads it (one miss).
+      return 2.0 * m;
+    case sync::SchemeKind::kMcs:
+      // Targeted like Anderson: write the successor's node, successor
+      // re-reads it.
+      return 2.0 * m;
+    case sync::SchemeKind::kClh: {
+      // One transaction cheaper than MCS on the release path (the releaser
+      // writes its *own* node, often still exclusive — a silent store),
+      // but each waiter spins on its predecessor's node line: under DSM
+      // that line is homed by the predecessor's node, so the successor's
+      // re-read is remote with probability (nodes-1)/nodes *again* on top
+      // of the average already folded into m.
+      double h = 1.5 * m;
+      if (cfg.model == core::MemModelKind::kDsm && cfg.dsm.nodes > 1) {
+        const double remote_frac =
+            static_cast<double>(cfg.dsm.nodes - 1) / cfg.dsm.nodes;
+        h += 0.5 * remote_frac *
+             static_cast<double>(cfg.dsm.remote_access_cycles);
+      }
+      return h;
+    }
+  }
+  return m;
+}
+
+Prediction predict(const core::MachineConfig& cfg, const Calibration& calib) {
+  Prediction p;
+  const double procs = static_cast<double>(cfg.num_procs);
+  const double m = miss_cycles(cfg);
+  p.parallel_bound = static_cast<double>(calib.run_cycles);
+  double bus_demand = calib.bus_busy_cycles;
+  if (cfg.num_procs > 1) {
+    // Sharing surcharge: each shared write that hit in cache at P = 1 is an
+    // ownership miss at P > 1 (invalidate + the victims' refills).
+    const double sharing = calib.shared_writes_per_proc * m;
+    p.parallel_bound += sharing;
+    bus_demand += sharing;
+  }
+
+  if (calib.acquisitions == 0 || cfg.num_procs <= 1) {
+    // No locks (or no parallelism): the parallel bound is the whole story.
+    p.run_time = p.parallel_bound;
+    p.handoff_cost =
+        handoff_cycles(cfg, cfg.lock_scheme, /*waiters=*/0.0);
+    return p;
+  }
+
+  const double k = static_cast<double>(calib.acquisitions);  // per proc
+  const double hot_acqs =
+      k * procs * std::clamp(calib.dominant_fraction, 0.0, 1.0);
+  const double c = calib.hold_mean;
+  // Parallel gap per lock pair: everything in the P=1 run that was not a
+  // critical section, spread over the pairs.
+  const double n =
+      std::max(0.0, (static_cast<double>(calib.run_cycles) - k * c) / k);
+
+  // Expected waiters from the saturation balance: a processor spends C+H
+  // inside the serial chain and N outside it, so of the other P-1
+  // processors, the fraction of time not covered by the gap queues up.
+  // (Self-consistent to first order with H evaluated at the uncontended
+  // waiter count; one fixed-point refinement is enough — H varies slowly.)
+  double h = handoff_cycles(cfg, cfg.lock_scheme, 0.0);
+  double waiters =
+      std::clamp((procs - 1.0) * (c + h) / std::max(1.0, c + h + n), 0.0,
+                 procs - 1.0);
+  h = handoff_cycles(cfg, cfg.lock_scheme, waiters);
+  waiters =
+      std::clamp((procs - 1.0) * (c + h) / std::max(1.0, c + h + n), 0.0,
+                 procs - 1.0);
+
+  p.handoff_cost = h;
+  p.expected_waiters = waiters;
+  p.serial_bound = hot_acqs * (c + h);
+  p.bus_bound = procs * bus_demand;
+
+  if (cfg.lock_scheme == sync::SchemeKind::kTas) {
+    // Plain test&set floods the bus with retries while anyone waits: every
+    // waiter's retry stream is pure bus demand the P=1 calibration never
+    // saw.
+    p.bus_bound *= 1.0 + 0.5 * waiters;
+  }
+
+  p.run_time =
+      std::max({p.serial_bound, p.parallel_bound, p.bus_bound});
+  p.saturated = p.run_time == p.serial_bound &&
+                p.serial_bound > p.parallel_bound;
+  return p;
+}
+
+}  // namespace syncpat::model

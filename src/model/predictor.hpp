@@ -1,0 +1,94 @@
+// Analytic lock-throughput predictor.
+//
+// Closed-form per-scheme run-time and waiter prediction in the style of
+// Aksenov, Alistarh & Kuznetsov ("Performance prediction for coarse-grained
+// locking"): measure the critical-section length C and the parallel gap N
+// once on a single thread, then predict the P-processor run time from three
+// bounds that need no further simulation —
+//
+//   * the parallel bound: every processor runs its own P=1 path
+//     concurrently, so the run cannot finish faster than one processor's
+//     serial time;
+//   * the bus bound: the machine has one shared bus, so the run cannot
+//     finish faster than P x (one processor's bus-busy cycles);
+//   * the serial bound: the hottest lock admits one holder at a time, so
+//     the run cannot finish faster than (its acquisitions) x (C + H),
+//     where H is the scheme's hand-off cost — the only term where lock
+//     schemes differ.
+//
+// The predicted run time is the largest bound; a winning serial bound
+// classifies the configuration as contended (saturated).  H is derived from
+// MachineConfig alone: a coherence miss costs arbitration + memory access +
+// line transfer, and each scheme pays a characteristic number of such
+// misses per hand-off (targeted-invalidation schemes a constant ~2, the
+// broadcast schemes a term growing with the expected waiter count, backoff
+// an idle window).  Under the DSM cost model every miss adds the
+// remote-home penalty with probability (nodes-1)/nodes; CLH additionally
+// pays it on the spin line (each waiter spins on its *predecessor's* node,
+// which is rarely home-local, where MCS waiters spin on their own).
+//
+// Accuracy expectations (see DESIGN.md "Predictor error regimes"): the
+// model tracks the simulator within tens of percent in the two regimes the
+// bounds represent, and degrades in the crossover region where neither
+// bound dominates — report/model_validation.cpp measures exactly this over
+// the fuzz corpus, and the model-smoke tier-1 test pins the median error
+// per scheme.
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine_config.hpp"
+#include "sync/scheme_factory.hpp"
+
+namespace syncpat::model {
+
+/// Single-threaded calibration measurements — Aksenov et al.'s methodology:
+/// run the same per-processor workload once at P = 1 (no contention, no
+/// sharing misses from other processors) and read these off the simulation
+/// result.  Everything else in the prediction is closed form.
+struct Calibration {
+  std::uint64_t run_cycles = 0;    // P=1 run time of one processor's load
+  std::uint64_t acquisitions = 0;  // lock pairs one processor executes
+  double hold_mean = 0.0;          // mean critical-section cycles (C)
+  /// Bus cycles one processor's traffic keeps the bus busy at P=1
+  /// (bus_utilization x run_cycles).  Feeds the bandwidth bound: the one
+  /// shared bus must carry P processors' worth of this demand.
+  double bus_busy_cycles = 0.0;
+  /// The hottest lock's share of acquisitions (1.0 = a single lock).  Only
+  /// the hottest lock's chain is a serial bound; independent locks
+  /// hand off concurrently.
+  double dominant_fraction = 1.0;
+  /// Writes to shared data one processor issues (workload descriptor, not
+  /// simulation: refs x data fraction x shared fraction x write fraction).
+  /// At P = 1 these hit in cache; at P > 1 each is an ownership miss that
+  /// also invalidates the other sharers — traffic the calibration run
+  /// cannot see, charged closed-form in predict().
+  double shared_writes_per_proc = 0.0;
+};
+
+struct Prediction {
+  double run_time = 0.0;         // max of the three bounds
+  double parallel_bound = 0.0;   // one processor's own path
+  double serial_bound = 0.0;     // A_hot x (C + H): the hot lock's chain
+  double bus_bound = 0.0;        // P x per-proc bus demand on the one bus
+  double handoff_cost = 0.0;     // H for this scheme at this machine (cycles)
+  double expected_waiters = 0.0; // predicted waiters at a hand-off
+  bool saturated = false;        // the serial bound decided run_time
+};
+
+/// One coherence-miss service time on this machine: bus arbitration +
+/// request phase + memory access + line transfer, plus the expected DSM
+/// remote-home penalty when the dsm cost model is active.
+[[nodiscard]] double miss_cycles(const core::MachineConfig& cfg);
+
+/// The scheme's per-hand-off cost H in cycles, with `waiters` processors
+/// expected to be waiting.  Pure function of the machine config.
+[[nodiscard]] double handoff_cycles(const core::MachineConfig& cfg,
+                                    sync::SchemeKind scheme, double waiters);
+
+/// Predict the run time of `cfg.num_procs` processors each executing the
+/// calibrated per-processor load under cfg.lock_scheme.
+[[nodiscard]] Prediction predict(const core::MachineConfig& cfg,
+                                 const Calibration& calib);
+
+}  // namespace syncpat::model

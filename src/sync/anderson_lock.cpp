@@ -85,7 +85,7 @@ void AndersonLock::on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
                                      services_.num_procs());
       if (lock.owner < 0 && lock.queue.empty() && !lock.handoff_pending) {
         lock.owner = static_cast<std::int32_t>(proc);
-        stats_.acquired(line_addr, proc, services_.now());
+        stats_.acquired(line_addr, proc, services_.now(), lock.queue.size());
         services_.proc_acquired(proc);
       } else {
         lock.queue.push_back(proc);
@@ -99,7 +99,7 @@ void AndersonLock::on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
       if (granted_.erase(proc) > 0) {
         lock.owner = static_cast<std::int32_t>(proc);
         lock.handoff_pending = false;
-        stats_.acquired(lock_line, proc, services_.now());
+        stats_.acquired(lock_line, proc, services_.now(), lock.queue.size());
         services_.proc_acquired(proc);
       } else {
         spin_on_slot(proc, lock_line);

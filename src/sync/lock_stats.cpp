@@ -7,18 +7,16 @@
 namespace syncpat::sync {
 
 void LockStatsCollector::acquired(std::uint32_t lock_line, std::uint32_t proc,
-                                  std::uint64_t now) {
+                                  std::uint64_t now,
+                                  std::uint64_t waiters_now) {
   Live& live = live_[lock_line];
   live.acquire_time = now;
   ++total_.acquisitions;
   ++per_lock_[lock_line].acquisitions;
   if (metrics_ != nullptr) {
-    // Read transfer_pending before the hand-off block below clears it: an
-    // uncontended acquire found zero waiters; a hand-off acquire found the
-    // waiters_left recorded at the matching released() call.
     obs::LockMetrics& lm = metrics_->lock(lock_line);
     ++lm.acquisitions;
-    lm.waiters_at_acquire.add(live.transfer_pending ? live.pending_waiters : 0);
+    lm.waiters_at_acquire.add(waiters_now);
     if (live.transfer_pending) {
       lm.handoff_cycles.add(now - live.release_time);
     }
@@ -68,7 +66,6 @@ void LockStatsCollector::released(std::uint32_t lock_line, std::uint64_t now,
     if (transferred) ++lm.transfers;
   }
   if (transferred) {
-    live.pending_waiters = waiters_left;
     ++total_.transfers;
     ++per_lock_[lock_line].transfers;
     total_.hold_cycles_transfer.add(held);
@@ -84,11 +81,6 @@ void LockStatsCollector::released(std::uint32_t lock_line, std::uint64_t now,
         transferred ? obs::EventKind::kHandoff : obs::EventKind::kReleased, -1,
         lock_line, waiters_left, 0});
   }
-}
-
-void LockStatsCollector::transfer_acquired(std::uint32_t lock_line,
-                                           std::uint64_t now) {
-  acquired(lock_line, 0, now);
 }
 
 }  // namespace syncpat::sync

@@ -33,8 +33,13 @@ struct LockAggregate {
 
 class LockStatsCollector {
  public:
-  /// Processor `proc` now owns the lock.
-  void acquired(std::uint32_t lock_line, std::uint32_t proc, std::uint64_t now);
+  /// Processor `proc` now owns the lock.  `waiters_now` is the number of
+  /// *other* processors still waiting at this instant — the scheme's live
+  /// queue, not a snapshot from release time, so hand-off-style locks
+  /// (MCS/CLH/Anderson) whose successors enqueue before the release count
+  /// arrivals during the hand-off window too.
+  void acquired(std::uint32_t lock_line, std::uint32_t proc, std::uint64_t now,
+                std::uint64_t waiters_now);
 
   /// The owner issued its releasing access at `now`.  Hold time ends here
   /// (the critical section is over); the release access itself and the
@@ -46,9 +51,6 @@ class LockStatsCollector {
   /// true when a waiting processor takes the lock.
   void released(std::uint32_t lock_line, std::uint64_t now, bool transferred,
                 std::uint64_t waiters_left);
-
-  /// The waiter chosen at the matching released() call is now running.
-  void transfer_acquired(std::uint32_t lock_line, std::uint64_t now);
 
   /// Every lock scheme funnels through this collector, so mirroring the
   /// calls as trace events here instruments all schemes at once and keeps
@@ -75,7 +77,6 @@ class LockStatsCollector {
     std::uint64_t acquire_time = 0;
     std::uint64_t release_time = 0;
     std::uint64_t release_issue_time = 0;
-    std::uint64_t pending_waiters = 0;  // waiters_left at the pending hand-off
     bool release_issue_valid = false;
     bool transfer_pending = false;
   };

@@ -37,7 +37,7 @@ void QueuingLock::on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
       LockState& lock = state(line_addr);
       if (lock.owner < 0 && lock.pending_next < 0) {
         lock.owner = static_cast<std::int32_t>(proc);
-        stats_.acquired(line_addr, proc, services_.now());
+        stats_.acquired(line_addr, proc, services_.now(), lock.waiters.size());
         services_.proc_acquired(proc);
       } else if (exact_) {
         // Second access of the enqueue phase: publish the spin location.
@@ -58,7 +58,7 @@ void QueuingLock::on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
       LockState& lock = state(line_addr);
       if (lock.owner < 0 && lock.pending_next < 0) {
         lock.owner = static_cast<std::int32_t>(proc);
-        stats_.acquired(line_addr, proc, services_.now());
+        stats_.acquired(line_addr, proc, services_.now(), lock.waiters.size());
         services_.proc_acquired(proc);
       } else {
         lock.waiters.push_back(proc);
@@ -113,7 +113,7 @@ void QueuingLock::on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
         if (lock.pending_next == static_cast<std::int32_t>(proc)) {
           lock.pending_next = -1;
           lock.owner = static_cast<std::int32_t>(proc);
-          stats_.acquired(line, proc, services_.now());
+          stats_.acquired(line, proc, services_.now(), lock.waiters.size());
           services_.proc_acquired(proc);
           return;
         }
@@ -137,7 +137,7 @@ void QueuingLock::on_handoff_granted(std::uint32_t line_addr) {
   SYNCPAT_ASSERT(it != pending_handoff_.end());
   const std::uint32_t next = it->second;
   pending_handoff_.erase(it);
-  stats_.acquired(line_addr, next, services_.now());
+  stats_.acquired(line_addr, next, services_.now(), state(line_addr).waiters.size());
   services_.proc_acquired(next);
 }
 

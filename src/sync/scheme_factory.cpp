@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "sync/anderson_lock.hpp"
+#include "sync/clh_lock.hpp"
+#include "sync/mcs_lock.hpp"
 #include "sync/queuing_lock.hpp"
 #include "sync/tas_backoff_lock.hpp"
 #include "sync/tas_lock.hpp"
@@ -20,6 +22,8 @@ const char* scheme_kind_name(SchemeKind kind) {
     case SchemeKind::kTasBackoff: return "tas-backoff";
     case SchemeKind::kTicket: return "ticket";
     case SchemeKind::kAnderson: return "anderson";
+    case SchemeKind::kMcs: return "mcs";
+    case SchemeKind::kClh: return "clh";
   }
   return "?";
 }
@@ -35,7 +39,7 @@ const std::vector<SchemeKind>& all_scheme_kinds() {
   static const std::vector<SchemeKind> kAll = {
       SchemeKind::kQueuing, SchemeKind::kQueuingExact, SchemeKind::kTtas,
       SchemeKind::kTas,     SchemeKind::kTasBackoff,   SchemeKind::kTicket,
-      SchemeKind::kAnderson};
+      SchemeKind::kAnderson, SchemeKind::kMcs,         SchemeKind::kClh};
   return kAll;
 }
 
@@ -57,6 +61,10 @@ std::unique_ptr<LockScheme> make_scheme(SchemeKind kind, SchemeServices& service
       return std::make_unique<TicketLock>(services, stats, line_bytes);
     case SchemeKind::kAnderson:
       return std::make_unique<AndersonLock>(services, stats);
+    case SchemeKind::kMcs:
+      return std::make_unique<McsLock>(services, stats);
+    case SchemeKind::kClh:
+      return std::make_unique<ClhLock>(services, stats);
   }
   throw std::invalid_argument("unknown lock scheme kind");
 }

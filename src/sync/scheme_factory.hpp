@@ -19,6 +19,8 @@ enum class SchemeKind : std::uint8_t {
   kTasBackoff,    // test-and-set with exponential backoff (Anderson [3])
   kTicket,        // ticket lock (ablation baseline)
   kAnderson,      // Anderson's array-based queue lock (Anderson [3])
+  kMcs,           // MCS list-based queue lock (Mellor-Crummey & Scott)
+  kClh,           // CLH implicit-queue lock (Craig; Landin & Hagersten)
 };
 
 /// All schemes, for sweeps and parameterized tests.

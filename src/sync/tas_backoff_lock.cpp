@@ -34,7 +34,7 @@ void TasBackoffLock::on_txn_complete(std::uint32_t proc,
       if (lock.owner < 0) {
         lock.owner = static_cast<std::int32_t>(proc);
         lock.trying.erase(proc);
-        stats_.acquired(line_addr, proc, services_.now());
+        stats_.acquired(line_addr, proc, services_.now(), lock.trying.size());
         services_.proc_acquired(proc);
       } else {
         // Failed: back off quietly, then retry with doubled delay.

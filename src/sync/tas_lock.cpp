@@ -29,7 +29,7 @@ void TasLock::on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
       if (lock.owner < 0) {
         lock.owner = static_cast<std::int32_t>(proc);
         lock.trying.erase(proc);
-        stats_.acquired(line_addr, proc, services_.now());
+        stats_.acquired(line_addr, proc, services_.now(), lock.trying.size());
         services_.proc_acquired(proc);
       } else {
         attempt(proc, line_addr);  // spin by re-issuing the atomic op

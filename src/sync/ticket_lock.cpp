@@ -23,7 +23,7 @@ void TicketLock::spin_or_acquire(std::uint32_t proc, std::uint32_t lock_line) {
   if (it->second == lock.now_serving && lock.owner < 0) {
     lock.owner = static_cast<std::int32_t>(proc);
     lock.ticket_of.erase(it);
-    stats_.acquired(lock_line, proc, services_.now());
+    stats_.acquired(lock_line, proc, services_.now(), lock.ticket_of.size());
     services_.proc_acquired(proc);
     return;
   }

@@ -63,7 +63,7 @@ void TtasLock::on_txn_complete(std::uint32_t proc, std::uint32_t line_addr,
       if (lock.owner < 0) {
         lock.owner = static_cast<std::int32_t>(proc);
         lock.trying.erase(proc);
-        stats_.acquired(line_addr, proc, services_.now());
+        stats_.acquired(line_addr, proc, services_.now(), lock.trying.size());
         services_.proc_acquired(proc);
       } else {
         // Lost the race; our test-and-set wrote "locked" over "locked", and

@@ -17,6 +17,8 @@ void Histogram::add(std::uint64_t value) {
   ++buckets_[bucket];
   ++count_;
   sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
 }
 
 std::uint64_t Histogram::bucket_lo(std::size_t i) {
@@ -42,9 +44,9 @@ std::uint64_t Histogram::quantile(double p) const {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
-    if (seen > target) return bucket_hi(i);
+    if (seen > target) return std::clamp(bucket_hi(i), min_, max_);
   }
-  return bucket_hi(kBuckets - 1);
+  return max_;
 }
 
 std::string Histogram::to_string() const {
@@ -65,6 +67,8 @@ void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
   sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
 }
 
 }  // namespace syncpat::util

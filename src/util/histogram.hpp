@@ -29,7 +29,15 @@ class Histogram {
                       : 0.0;
   }
 
-  /// Approximate p-quantile (bucket upper bound containing the quantile).
+  /// Smallest / largest value ever added (0 when empty).
+  [[nodiscard]] std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+
+  /// Approximate p-quantile: the upper bound of the bucket containing the
+  /// quantile, clamped to the observed [min, max] — so a histogram whose
+  /// samples all land in one power-of-two bucket never reports a value
+  /// outside what was actually added (a bare bucket_hi would, e.g. 7 for a
+  /// histogram of all 4s).
   [[nodiscard]] std::uint64_t quantile(double p) const;
 
   /// Multi-line ASCII rendering, for diagnostic dumps.
@@ -41,6 +49,8 @@ class Histogram {
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
 };
 
 }  // namespace syncpat::util

@@ -60,7 +60,7 @@ TEST(ServiceDiscipline, RoundRobinScanOrderMatchesPeek) {
   RoundRobinDiscipline rr(4);
   rr.record_grant(1, 0, false);
   std::uint32_t order[4];
-  rr.scan_order(nullptr, order);
+  rr.scan_order(nullptr, 0, order);
   EXPECT_EQ(order[0], 2u);
   EXPECT_EQ(order[1], 3u);
   EXPECT_EQ(order[2], 0u);
@@ -69,8 +69,16 @@ TEST(ServiceDiscipline, RoundRobinScanOrderMatchesPeek) {
 
 TEST(ServiceDiscipline, FixedPriorityPutsMemoryFirstThenIdOrder) {
   FixedPriorityDiscipline fp(5);
+  ASSERT_TRUE(fp.needs_stamps());
+  const ArbRequest req[5] = {
+      {.present = true, .stamp = 10},
+      {.present = true, .stamp = 8},
+      {.present = true, .stamp = 12},
+      {.present = false, .stamp = 0},
+      {.present = true, .stamp = 9},  // memory port
+  };
   std::uint32_t order[5];
-  fp.scan_order(nullptr, order);
+  fp.scan_order(req, 20, order);  // nobody near the escape bound
   EXPECT_EQ(order[0], 4u);  // memory response port
   EXPECT_EQ(order[1], 0u);
   EXPECT_EQ(order[2], 1u);
@@ -78,8 +86,40 @@ TEST(ServiceDiscipline, FixedPriorityPutsMemoryFirstThenIdOrder) {
   EXPECT_EQ(order[4], 3u);
   // Grants never change the static order.
   fp.record_grant(2, 7, false);
-  fp.scan_order(nullptr, order);
+  fp.scan_order(req, 20, order);
   EXPECT_EQ(order[0], 4u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(ServiceDiscipline, FixedPriorityAgingPromotesOldestStarvedRequest) {
+  FixedPriorityDiscipline fp(5);
+  constexpr std::uint64_t kBound =
+      FixedPriorityDiscipline::kStarvationEscapeCycles;
+  ArbRequest req[5] = {
+      {.present = true, .stamp = 100},
+      {.present = false, .stamp = 0},
+      {.present = true, .stamp = 10},  // oldest processor request
+      {.present = true, .stamp = 50},
+      {.present = true, .stamp = 5},  // memory port: never ages (already first)
+  };
+  std::uint32_t order[5];
+  // One cycle short of the bound: pure static chain.
+  fp.scan_order(req, 10 + kBound - 1, order);
+  EXPECT_EQ(order[0], 4u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 2u);
+  EXPECT_EQ(order[4], 3u);
+  // At the bound: port 2 jumps the chain, the rest keep id order.
+  fp.scan_order(req, 10 + kBound, order);
+  EXPECT_EQ(order[0], 4u);  // memory still drains first
+  EXPECT_EQ(order[1], 2u);  // promoted past ports 0 and 1
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 1u);
+  EXPECT_EQ(order[4], 3u);
+  // Stamp ties break toward the lower port id.
+  req[0].stamp = 10;
+  fp.scan_order(req, 10 + kBound, order);
   EXPECT_EQ(order[1], 0u);
 }
 
@@ -93,7 +133,7 @@ TEST(ServiceDiscipline, FcfsOrdersByStampThenPort) {
       {.present = true, .stamp = 30},  // tie with port 0: lower port first
   };
   std::uint32_t order[4];
-  fcfs.scan_order(req, order);
+  fcfs.scan_order(req, 40, order);
   EXPECT_EQ(order[0], 2u);  // oldest
   EXPECT_EQ(order[1], 0u);  // stamp tie broken by port id
   EXPECT_EQ(order[2], 3u);

@@ -72,6 +72,35 @@ TEST(FuzzCaseText, RoundTripsExactly) {
   }
 }
 
+TEST(FuzzCaseText, ParsesListBasedQueueLockSchemes) {
+  // Repro files written after the MCS/CLH override draw landed carry
+  // "scheme mcs" / "scheme clh"; older files keep parsing because the draw
+  // only changed the value set, never the key format.
+  const std::string base = FuzzCase::generate(1, 0).to_text();
+  for (const char* name : {"mcs", "clh"}) {
+    std::string text = base;
+    const auto pos = text.find("scheme ");
+    const auto eol = text.find('\n', pos);
+    text.replace(pos, eol - pos, std::string("scheme ") + name);
+    const FuzzCase c = FuzzCase::from_text(text);
+    EXPECT_EQ(sync::scheme_kind_name(c.scheme), std::string(name));
+    EXPECT_EQ(FuzzCase::from_text(c.to_text()), c);
+  }
+}
+
+TEST(FuzzCaseGen, CorpusDrawsListBasedQueueLocks) {
+  // The appended override draw must actually surface both new schemes —
+  // otherwise the model-validation corpus never scores them.
+  bool saw_mcs = false, saw_clh = false;
+  for (std::uint64_t i = 0; i < 200 && !(saw_mcs && saw_clh); ++i) {
+    const FuzzCase c = FuzzCase::generate(24245, i);
+    saw_mcs |= c.scheme == sync::SchemeKind::kMcs;
+    saw_clh |= c.scheme == sync::SchemeKind::kClh;
+  }
+  EXPECT_TRUE(saw_mcs);
+  EXPECT_TRUE(saw_clh);
+}
+
 TEST(FuzzCaseText, RejectsMalformedRepros) {
   const std::string good = FuzzCase::generate(1, 0).to_text();
   EXPECT_THROW((void)FuzzCase::from_text(""), std::invalid_argument);

@@ -1,6 +1,7 @@
 // Golden-results regression test: Table 3/5 headline numbers (all six paper
-// benchmarks under the queuing and test-and-test&set locks) at a fixed
-// scale, snapshotted as JSON in tests/golden/.  Any drift in simulated
+// benchmarks under the queuing and test-and-test&set locks, plus the
+// list-based MCS and CLH queue locks) at a fixed scale, snapshotted as JSON
+// in tests/golden/.  Any drift in simulated
 // cycle counts, lock statistics, or bus traffic fails the test.
 //
 // To update the snapshot after an intentional behavior change, run with
@@ -63,7 +64,8 @@ TEST_P(GoldenResults, Table3And5HeadlineNumbers) {
   core::ExperimentGrid grid;
   grid.base.engine = GetParam();
   grid.profiles = workload::paper_profiles();
-  grid.schemes = {sync::SchemeKind::kQueuing, sync::SchemeKind::kTtas};
+  grid.schemes = {sync::SchemeKind::kQueuing, sync::SchemeKind::kTtas,
+                  sync::SchemeKind::kMcs, sync::SchemeKind::kClh};
   grid.scales = {kGoldenScale};
 
   const core::GridResult result = core::run_grid(grid);

@@ -67,15 +67,34 @@ TEST(Histogram, QuantileEndpoints) {
   for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
   EXPECT_EQ(h.quantile(0.0), 1u);      // hi bound of the lowest bucket, [1,1]
   EXPECT_EQ(h.quantile(0.5), 511u);
-  EXPECT_EQ(h.quantile(1.0), 1023u);   // hi bound of [512,1023], not 2^63-1
+  EXPECT_EQ(h.quantile(1.0), 1000u);   // bucket hi 1023 clamps to max added
 }
 
+// A histogram whose samples all land in one power-of-two bucket reports the
+// samples' actual value, not the bucket's hi bound: quantiles clamp to the
+// observed [min, max].
 TEST(Histogram, QuantileSingleValueSameForAllP) {
   Histogram h;
   h.add(42);  // lands in [32,63]
-  EXPECT_EQ(h.quantile(0.0), 63u);
-  EXPECT_EQ(h.quantile(0.5), 63u);
-  EXPECT_EQ(h.quantile(1.0), 63u);
+  EXPECT_EQ(h.quantile(0.0), 42u);
+  EXPECT_EQ(h.quantile(0.5), 42u);
+  EXPECT_EQ(h.quantile(1.0), 42u);
+}
+
+TEST(Histogram, MinMaxTracked) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reports 0, not ~0
+  EXPECT_EQ(h.max(), 0u);
+  h.add(7);
+  h.add(3);
+  h.add(900);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 900u);
+  Histogram other;
+  other.add(1);
+  h.merge(other);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 900u);
 }
 
 TEST(Histogram, MergeAddsCounts) {

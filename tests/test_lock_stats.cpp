@@ -7,7 +7,7 @@ namespace {
 
 TEST(LockStats, UncontendedAcquireRelease) {
   LockStatsCollector c;
-  c.acquired(0x100, 0, 10);
+  c.acquired(0x100, 0, 10, 0);
   c.released(0x100, 60, /*transferred=*/false, 0);
   EXPECT_EQ(c.total().acquisitions, 1u);
   EXPECT_EQ(c.total().transfers, 0u);
@@ -16,9 +16,9 @@ TEST(LockStats, UncontendedAcquireRelease) {
 
 TEST(LockStats, TransferWindowMeasured) {
   LockStatsCollector c;
-  c.acquired(0x100, 0, 10);
+  c.acquired(0x100, 0, 10, 0);
   c.released(0x100, 50, /*transferred=*/true, 2);
-  c.acquired(0x100, 1, 53);  // the waiter got it 3 cycles later
+  c.acquired(0x100, 1, 53, 0);  // the waiter got it 3 cycles later
   EXPECT_EQ(c.total().transfers, 1u);
   EXPECT_DOUBLE_EQ(c.total().transfer_cycles.mean(), 3.0);
   EXPECT_DOUBLE_EQ(c.total().waiters_at_transfer.mean(), 2.0);
@@ -27,7 +27,7 @@ TEST(LockStats, TransferWindowMeasured) {
 
 TEST(LockStats, ReleaseIssueEndsHoldEarly) {
   LockStatsCollector c;
-  c.acquired(0x100, 0, 0);
+  c.acquired(0x100, 0, 0, 0);
   c.release_issued(0x100, 30);
   c.released(0x100, 36, /*transferred=*/false, 0);  // access took 6 cycles
   EXPECT_DOUBLE_EQ(c.total().hold_cycles.mean(), 30.0);
@@ -35,19 +35,19 @@ TEST(LockStats, ReleaseIssueEndsHoldEarly) {
 
 TEST(LockStats, ReleaseIssueConsumedOnce) {
   LockStatsCollector c;
-  c.acquired(0x100, 0, 0);
+  c.acquired(0x100, 0, 0, 0);
   c.release_issued(0x100, 30);
   c.released(0x100, 36, false, 0);
-  c.acquired(0x100, 1, 40);
+  c.acquired(0x100, 1, 40, 0);
   c.released(0x100, 90, false, 0);  // no release_issued: hold ends at 90
   EXPECT_DOUBLE_EQ(c.total().hold_cycles.max(), 50.0);
 }
 
 TEST(LockStats, PerLockBreakdown) {
   LockStatsCollector c;
-  c.acquired(0x100, 0, 0);
+  c.acquired(0x100, 0, 0, 0);
   c.released(0x100, 10, false, 0);
-  c.acquired(0x200, 1, 0);
+  c.acquired(0x200, 1, 0, 0);
   c.released(0x200, 30, false, 0);
   ASSERT_EQ(c.per_lock().size(), 2u);
   EXPECT_DOUBLE_EQ(c.per_lock().at(0x100).hold_cycles.mean(), 10.0);
@@ -57,11 +57,11 @@ TEST(LockStats, PerLockBreakdown) {
 
 TEST(LockStats, ChainedTransfers) {
   LockStatsCollector c;
-  c.acquired(0x100, 0, 0);
+  c.acquired(0x100, 0, 0, 0);
   c.released(0x100, 100, true, 3);
-  c.acquired(0x100, 1, 101);
+  c.acquired(0x100, 1, 101, 0);
   c.released(0x100, 200, true, 2);
-  c.acquired(0x100, 2, 202);
+  c.acquired(0x100, 2, 202, 0);
   c.released(0x100, 300, false, 0);
   EXPECT_EQ(c.total().acquisitions, 3u);
   EXPECT_EQ(c.total().transfers, 2u);
@@ -71,9 +71,9 @@ TEST(LockStats, ChainedTransfers) {
 
 TEST(LockStats, TransferHistogramPopulated) {
   LockStatsCollector c;
-  c.acquired(0x100, 0, 0);
+  c.acquired(0x100, 0, 0, 0);
   c.released(0x100, 10, true, 0);
-  c.acquired(0x100, 1, 32);  // 22-cycle transfer
+  c.acquired(0x100, 1, 32, 0);  // 22-cycle transfer
   EXPECT_EQ(c.total().transfer_hist.count(), 1u);
   EXPECT_GE(c.total().transfer_hist.quantile(0.5), 22u);
 }

@@ -1,0 +1,171 @@
+// List-based queue locks through the full machine: MCS (spin on own node,
+// release writes the successor's node) and CLH (spin on the predecessor's
+// node, release writes the releaser's own node).  Test names are prefixed
+// McsLock/ClhLock so the TSan recipe's --gtest_filter=Mcs*:Clh* picks them
+// up (see .claude/skills/verify/SKILL.md).
+#include <gtest/gtest.h>
+
+#include "sync/clh_lock.hpp"
+#include "sync/mcs_lock.hpp"
+#include "test_util.hpp"
+#include "trace/address_map.hpp"
+
+namespace syncpat::core {
+namespace {
+
+using namespace testutil;
+
+// N processors each acquire/release the same lock `rounds` times.
+trace::ProgramTrace contended(std::uint32_t procs, int rounds,
+                              std::uint32_t cs_gap,
+                              std::uint32_t think_gap = 4) {
+  std::vector<std::vector<trace::Event>> traces(procs);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    for (int r = 0; r < rounds; ++r) {
+      traces[p].push_back(lock_acq(0, think_gap));
+      traces[p].push_back(load(shared_line(1), cs_gap));
+      traces[p].push_back(lock_rel(0, 2));
+    }
+  }
+  return make_program(std::move(traces));
+}
+
+TEST(McsLock, UncontendedAcquireReleaseCompletes) {
+  trace::ProgramTrace program = make_program({{
+      lock_acq(0, 1),
+      load(shared_line(1), 5),
+      lock_rel(0, 1),
+  }});
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kMcs), program);
+  EXPECT_EQ(r.locks.acquisitions, 1u);
+  EXPECT_EQ(r.locks.transfers, 0u);
+  EXPECT_EQ(r.per_proc[0].stall_lock, 0u);
+}
+
+TEST(McsLock, MutualExclusionUnderContention) {
+  trace::ProgramTrace program = contended(8, 20, 10);
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kMcs), program);
+  EXPECT_EQ(r.locks.acquisitions, 8u * 20u);
+  EXPECT_GT(r.locks.transfers, 80u);
+  EXPECT_EQ(r.scheme, std::string("mcs"));
+}
+
+TEST(McsLock, NodeLinesAreDistinctPerProcessorAndInLockRegion) {
+  std::uint32_t prev = 0;
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    const std::uint32_t line = sync::McsLock::node_line(p);
+    EXPECT_GE(line, trace::AddressMap::kLockBase);
+    if (p > 0) {
+      EXPECT_GT(line, prev);
+    }
+    prev = line;
+    // Never aliases the CLH node slice.
+    EXPECT_NE(line, sync::ClhLock::node_line(p));
+  }
+}
+
+TEST(McsLock, PassiveWaitersGenerateNoBusTraffic) {
+  // One long critical section with everyone queued on their own node line:
+  // the bus stays quiet while they wait.
+  trace::ProgramTrace program = contended(8, 2, 400);
+  MachineConfig config = machine(sync::SchemeKind::kMcs);
+  config.num_procs = 8;
+  Simulator sim(config, program);
+  const SimulationResult r = sim.run();
+  EXPECT_LT(sim.bus().utilization(), 0.25);
+  EXPECT_GT(r.locks.waiters_at_transfer.mean(), 3.0);
+}
+
+TEST(McsLock, HandoffCheaperThanTtasHerd) {
+  // Targeted wake (write the successor's node) vs the ttas broadcast herd.
+  trace::ProgramTrace p1 = contended(10, 25, 20);
+  trace::ProgramTrace p2 = contended(10, 25, 20);
+  const SimulationResult mcs = simulate(machine(sync::SchemeKind::kMcs), p1);
+  const SimulationResult tt = simulate(machine(sync::SchemeKind::kTtas), p2);
+  EXPECT_LT(mcs.locks.transfer_cycles.mean(), tt.locks.transfer_cycles.mean());
+}
+
+TEST(McsLock, WaitersAtTransferCountsQueueDepth) {
+  // Hand-off-style accounting: every transfer should observe the queue the
+  // releaser saw, not zero (the regression the waiters-at-acquire fix pins).
+  trace::ProgramTrace program = contended(8, 20, 30);
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kMcs), program);
+  EXPECT_EQ(r.locks.waiters_at_transfer.count(), r.locks.transfers);
+  EXPECT_GT(r.locks.waiters_at_transfer.mean(), 2.0);
+}
+
+TEST(ClhLock, UncontendedAcquireReleaseCompletes) {
+  trace::ProgramTrace program = make_program({{
+      lock_acq(0, 1),
+      load(shared_line(1), 5),
+      lock_rel(0, 1),
+  }});
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kClh), program);
+  EXPECT_EQ(r.locks.acquisitions, 1u);
+  EXPECT_EQ(r.locks.transfers, 0u);
+  EXPECT_EQ(r.per_proc[0].stall_lock, 0u);
+}
+
+TEST(ClhLock, MutualExclusionUnderContention) {
+  trace::ProgramTrace program = contended(8, 20, 10);
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kClh), program);
+  EXPECT_EQ(r.locks.acquisitions, 8u * 20u);
+  EXPECT_GT(r.locks.transfers, 80u);
+  EXPECT_EQ(r.scheme, std::string("clh"));
+}
+
+TEST(ClhLock, PassiveWaitersGenerateNoBusTraffic) {
+  trace::ProgramTrace program = contended(8, 2, 400);
+  MachineConfig config = machine(sync::SchemeKind::kClh);
+  config.num_procs = 8;
+  Simulator sim(config, program);
+  const SimulationResult r = sim.run();
+  EXPECT_LT(sim.bus().utilization(), 0.25);
+  EXPECT_GT(r.locks.waiters_at_transfer.mean(), 3.0);
+}
+
+TEST(ClhLock, HandoffNoSlowerThanMcs) {
+  // CLH release writes its own (usually still-exclusive) node: one bus
+  // transaction cheaper than MCS's write to the successor's node.
+  trace::ProgramTrace p1 = contended(10, 25, 20);
+  trace::ProgramTrace p2 = contended(10, 25, 20);
+  const SimulationResult clh = simulate(machine(sync::SchemeKind::kClh), p1);
+  const SimulationResult mcs = simulate(machine(sync::SchemeKind::kMcs), p2);
+  EXPECT_LE(clh.locks.transfer_cycles.mean(),
+            mcs.locks.transfer_cycles.mean() + 0.5);
+}
+
+TEST(ClhLock, CompletesUnderDsmCostModel) {
+  // The predecessor's node line is rarely home-local under DSM; the remote
+  // penalty slows hand-offs but must never lose an acquisition.
+  trace::ProgramTrace p1 = contended(6, 15, 20);
+  trace::ProgramTrace p2 = contended(6, 15, 20);
+  MachineConfig dsm = machine(sync::SchemeKind::kClh);
+  dsm.model = MemModelKind::kDsm;
+  dsm.dsm.nodes = 4;
+  dsm.dsm.remote_access_cycles = 20;
+  const SimulationResult remote = simulate(dsm, p1);
+  const SimulationResult local =
+      simulate(machine(sync::SchemeKind::kClh), p2);
+  EXPECT_EQ(remote.locks.acquisitions, 6u * 15u);
+  EXPECT_GE(remote.run_time, local.run_time);
+}
+
+TEST(ClhLock, ManyLocksIndependent) {
+  // Each processor on its own lock: the implicit queues never interact and
+  // no hand-offs happen anywhere.
+  std::vector<std::vector<trace::Event>> traces(4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    for (int r = 0; r < 10; ++r) {
+      traces[p].push_back(lock_acq(p + 1, 3));
+      traces[p].push_back(lock_rel(p + 1, 5));
+    }
+  }
+  trace::ProgramTrace program = make_program(std::move(traces));
+  const SimulationResult r = simulate(machine(sync::SchemeKind::kClh), program);
+  EXPECT_EQ(r.locks.acquisitions, 40u);
+  EXPECT_EQ(r.locks.transfers, 0u);
+}
+
+}  // namespace
+}  // namespace syncpat::core

@@ -1,0 +1,191 @@
+// Unit tests for the closed-form throughput predictor (src/model/).  The
+// model-validation report and the model-smoke gate measure end-to-end error
+// against the simulator; these pin the analytic structure itself — the bound
+// arithmetic, the per-scheme hand-off ordering, and the DSM penalties —
+// which must hold regardless of how well the model fits any corpus.  Names
+// are prefixed Model* for the TSan recipe's filter.
+#include <gtest/gtest.h>
+
+#include "model/predictor.hpp"
+
+namespace syncpat::model {
+namespace {
+
+core::MachineConfig base_machine(sync::SchemeKind scheme) {
+  core::MachineConfig cfg;
+  cfg.lock_scheme = scheme;
+  cfg.num_procs = 8;
+  return cfg;
+}
+
+Calibration base_calib() {
+  Calibration c;
+  c.run_cycles = 10'000;
+  c.acquisitions = 100;
+  c.hold_mean = 20.0;
+  c.bus_busy_cycles = 500.0;
+  return c;
+}
+
+TEST(Model, MissCyclesMatchesMachineParameters) {
+  core::MachineConfig cfg;
+  // Arbitration + request phase + memory access + line transfer.
+  const double expected = 2.0 + cfg.memory.access_cycles +
+                          cfg.line_transfer_cycles();
+  EXPECT_DOUBLE_EQ(miss_cycles(cfg), expected);
+}
+
+TEST(Model, DsmMissAddsExpectedRemotePenalty) {
+  core::MachineConfig bus_cfg;
+  core::MachineConfig dsm_cfg;
+  dsm_cfg.model = core::MemModelKind::kDsm;
+  dsm_cfg.dsm.nodes = 4;
+  dsm_cfg.dsm.remote_access_cycles = 20;
+  // Remote with probability (nodes-1)/nodes = 3/4.
+  EXPECT_DOUBLE_EQ(miss_cycles(dsm_cfg), miss_cycles(bus_cfg) + 0.75 * 20.0);
+}
+
+TEST(Model, QueuingHandoffIsCheapestAndWaiterIndependent) {
+  core::MachineConfig cfg;
+  const double q0 = handoff_cycles(cfg, sync::SchemeKind::kQueuing, 0.0);
+  const double q5 = handoff_cycles(cfg, sync::SchemeKind::kQueuing, 5.0);
+  EXPECT_DOUBLE_EQ(q0, q5);  // directed notify: no herd term
+  for (const auto kind : sync::all_scheme_kinds()) {
+    EXPECT_LE(q5, handoff_cycles(cfg, kind, 5.0)) << "vs "
+        << sync::scheme_kind_name(kind);
+  }
+}
+
+TEST(Model, BroadcastSchemesGrowWithWaitersTargetedDoNot) {
+  core::MachineConfig cfg;
+  for (const auto kind : {sync::SchemeKind::kTtas, sync::SchemeKind::kTicket}) {
+    EXPECT_GT(handoff_cycles(cfg, kind, 8.0), handoff_cycles(cfg, kind, 0.0))
+        << sync::scheme_kind_name(kind);
+  }
+  for (const auto kind : {sync::SchemeKind::kAnderson, sync::SchemeKind::kMcs,
+                          sync::SchemeKind::kClh}) {
+    EXPECT_DOUBLE_EQ(handoff_cycles(cfg, kind, 8.0),
+                     handoff_cycles(cfg, kind, 0.0))
+        << sync::scheme_kind_name(kind);
+  }
+}
+
+TEST(Model, ClhCheaperThanMcsOnBusButPenalizedUnderDsm) {
+  core::MachineConfig bus_cfg;
+  EXPECT_LT(handoff_cycles(bus_cfg, sync::SchemeKind::kClh, 3.0),
+            handoff_cycles(bus_cfg, sync::SchemeKind::kMcs, 3.0));
+
+  core::MachineConfig dsm_cfg;
+  dsm_cfg.model = core::MemModelKind::kDsm;
+  dsm_cfg.dsm.nodes = 8;
+  dsm_cfg.dsm.remote_access_cycles = 40;
+  // CLH spins on the predecessor's (remote-homed) node: the spin-line
+  // penalty is charged on top of the 1.5-miss base, and it exactly cancels
+  // the DSM growth of the MCS gap — the *relative* advantage over MCS must
+  // shrink even though the absolute cycle gap stays put.
+  EXPECT_GT(handoff_cycles(dsm_cfg, sync::SchemeKind::kClh, 3.0),
+            1.5 * miss_cycles(dsm_cfg));
+  const double rel_bus =
+      handoff_cycles(bus_cfg, sync::SchemeKind::kClh, 3.0) /
+      handoff_cycles(bus_cfg, sync::SchemeKind::kMcs, 3.0);
+  const double rel_dsm =
+      handoff_cycles(dsm_cfg, sync::SchemeKind::kClh, 3.0) /
+      handoff_cycles(dsm_cfg, sync::SchemeKind::kMcs, 3.0);
+  EXPECT_GT(rel_dsm, rel_bus);
+  EXPECT_LT(rel_dsm, 1.0);
+}
+
+TEST(Model, FixedPriorityTasPaysEscapeWindows) {
+  core::MachineConfig rr = base_machine(sync::SchemeKind::kTas);
+  core::MachineConfig fp = base_machine(sync::SchemeKind::kTas);
+  fp.bus_discipline = bus::DisciplineKind::kFixedPriority;
+  // Uncontended: no starvation, no penalty.
+  EXPECT_DOUBLE_EQ(handoff_cycles(fp, sync::SchemeKind::kTas, 0.0),
+                   handoff_cycles(rr, sync::SchemeKind::kTas, 0.0));
+  // Contended: two aging-escape windows on top of the miss pair.
+  EXPECT_GE(handoff_cycles(fp, sync::SchemeKind::kTas, 2.0),
+            handoff_cycles(rr, sync::SchemeKind::kTas, 2.0) +
+                2.0 * bus::FixedPriorityDiscipline::kStarvationEscapeCycles);
+}
+
+TEST(Model, NoAcquisitionsPredictsParallelBound) {
+  core::MachineConfig cfg = base_machine(sync::SchemeKind::kTtas);
+  Calibration calib = base_calib();
+  calib.acquisitions = 0;
+  const Prediction p = predict(cfg, calib);
+  EXPECT_DOUBLE_EQ(p.run_time, p.parallel_bound);
+  EXPECT_FALSE(p.saturated);
+  EXPECT_DOUBLE_EQ(p.expected_waiters, 0.0);
+}
+
+TEST(Model, SingleProcessorPredictsCalibrationExactly) {
+  core::MachineConfig cfg = base_machine(sync::SchemeKind::kMcs);
+  cfg.num_procs = 1;
+  const Calibration calib = base_calib();
+  const Prediction p = predict(cfg, calib);
+  // P=1 adds no sharing misses and no contention: the calibration run IS
+  // the prediction.
+  EXPECT_DOUBLE_EQ(p.run_time, static_cast<double>(calib.run_cycles));
+}
+
+TEST(Model, RunTimeMonotonicInProcessorCount) {
+  const Calibration calib = base_calib();
+  double prev = 0.0;
+  for (std::uint32_t procs : {2u, 4u, 8u, 16u, 64u}) {
+    core::MachineConfig cfg = base_machine(sync::SchemeKind::kTicket);
+    cfg.num_procs = procs;
+    const Prediction p = predict(cfg, calib);
+    EXPECT_GE(p.run_time, prev) << "P=" << procs;
+    prev = p.run_time;
+  }
+}
+
+TEST(Model, LongHoldsSaturateTheSerialBound) {
+  core::MachineConfig cfg = base_machine(sync::SchemeKind::kQueuing);
+  cfg.num_procs = 16;
+  Calibration calib = base_calib();
+  calib.hold_mean = 90.0;                  // lock-dominated P=1 run
+  calib.run_cycles = 10'000;
+  calib.acquisitions = 100;                // 9000 of 10000 cycles held
+  const Prediction p = predict(cfg, calib);
+  EXPECT_TRUE(p.saturated);
+  EXPECT_DOUBLE_EQ(p.run_time, p.serial_bound);
+  // 16 processors funneling through one lock: nearly everyone queues.
+  EXPECT_GT(p.expected_waiters, 10.0);
+}
+
+TEST(Model, DominantFractionScalesTheSerialBound) {
+  core::MachineConfig cfg = base_machine(sync::SchemeKind::kAnderson);
+  cfg.num_procs = 32;
+  Calibration hot = base_calib();
+  hot.hold_mean = 80.0;
+  Calibration spread = hot;
+  spread.dominant_fraction = 0.25;  // four equally-hot independent locks
+  const Prediction p_hot = predict(cfg, hot);
+  const Prediction p_spread = predict(cfg, spread);
+  EXPECT_DOUBLE_EQ(p_spread.serial_bound, 0.25 * p_hot.serial_bound);
+}
+
+TEST(Model, SharedWritesRaiseBothParallelAndBusBounds) {
+  core::MachineConfig cfg = base_machine(sync::SchemeKind::kTtas);
+  Calibration clean = base_calib();
+  Calibration sharing = clean;
+  sharing.shared_writes_per_proc = 200.0;
+  const Prediction p_clean = predict(cfg, clean);
+  const Prediction p_sharing = predict(cfg, sharing);
+  EXPECT_GT(p_sharing.parallel_bound, p_clean.parallel_bound);
+  EXPECT_GT(p_sharing.bus_bound, p_clean.bus_bound);
+}
+
+TEST(Model, TasRetryStormInflatesBusBound) {
+  Calibration calib = base_calib();
+  calib.hold_mean = 60.0;  // contended enough to predict waiters
+  core::MachineConfig tas = base_machine(sync::SchemeKind::kTas);
+  core::MachineConfig anderson = base_machine(sync::SchemeKind::kAnderson);
+  const Prediction p_tas = predict(tas, calib);
+  const Prediction p_and = predict(anderson, calib);
+  EXPECT_GT(p_tas.bus_bound, p_and.bus_bound);
+}
+
+}  // namespace
+}  // namespace syncpat::model

@@ -81,10 +81,10 @@ TEST(PerLockTable, SortsByAcquisitionsAndCaps) {
   const std::uint32_t hot = trace::AddressMap::lock_addr(0);
   const std::uint32_t cold = trace::AddressMap::lock_addr(5);
   for (int i = 0; i < 10; ++i) {
-    stats.acquired(hot, 0, static_cast<std::uint64_t>(i * 100));
+    stats.acquired(hot, 0, static_cast<std::uint64_t>(i * 100), 0);
     stats.released(hot, static_cast<std::uint64_t>(i * 100 + 40), false, 0);
   }
-  stats.acquired(cold, 1, 0);
+  stats.acquired(cold, 1, 0, 0);
   stats.released(cold, 20, false, 0);
 
   Table t = per_lock_table(stats, 1);

@@ -90,13 +90,6 @@ TEST_F(ScalingDifferential, SchemeByDisciplineMatrixByteIdenticalAcrossEngines) 
       bus::DisciplineKind::kFcfs};
   for (const sync::SchemeKind scheme : sync::all_scheme_kinds()) {
     for (const bus::DisciplineKind discipline : kDisciplines) {
-      if (scheme == sync::SchemeKind::kTas &&
-          discipline == bus::DisciplineKind::kFixedPriority) {
-        // Faithful livelock: pure priority starves the releaser against an
-        // unthrottled test&set retry stream.  Pinned by the bounded
-        // FixedPriorityStarvesPlainTasReleaser test below, not run here.
-        continue;
-      }
       core::MachineConfig cfg;
       cfg.lock_scheme = scheme;
       cfg.bus_discipline = discipline;
@@ -135,13 +128,16 @@ TEST_F(ScalingDifferential, DisciplinesProduceDistinctSchedules) {
       << "at least two service disciplines produced identical runs";
 }
 
-// Pure priority arbitration starves a plain test&set releaser: the spinners'
-// forced ReadX retries always outrank a lower-priority holder's release
-// write.  This fuzz-discovered case (seed 24245, case 3) livelocks past any
-// cycle budget under fixed-priority, and completes under both fair
-// disciplines.  The fuzzer reroutes the combination (its cases must
-// terminate); this bounded test keeps the behaviour itself pinned.
-TEST_F(ScalingDifferential, FixedPriorityStarvesPlainTasReleaser) {
+// Pure priority arbitration used to starve a plain test&set releaser: the
+// spinners' forced ReadX retries always outranked a lower-priority holder's
+// release write, and this fuzz-discovered case (seed 24245, case 3)
+// livelocked past any cycle budget under fixed-priority.  The discipline's
+// aging escape now bounds the inversion — the release write jumps the chain
+// after kStarvationEscapeCycles — so the case must complete under all three
+// disciplines with metrics conserved, while fixed-priority still pays a
+// visibly worse grant wait than the fair disciplines (the skew the
+// discipline exists to model).
+TEST_F(ScalingDifferential, FixedPriorityCompletesPlainTasWithBoundedWaits) {
   const char* kCase =
       "syncpat-fuzz-case 1\n"
       "index 3\nmaster_seed 24245\nnum_procs 4\nline_bytes 32\n"
@@ -160,14 +156,22 @@ TEST_F(ScalingDifferential, FixedPriorityStarvesPlainTasReleaser) {
   const fuzz::FuzzCase c = fuzz::FuzzCase::from_text(kCase);
   trace::ProgramTrace program = workload::make_program_trace(c.profile());
 
-  core::MachineConfig starved = c.machine_config();
-  starved.max_cycles = 2'000'000;  // it would run to 4e9 all the same
-  EXPECT_DEATH(
-      {
-        core::Simulator sim(starved, program);
-        (void)sim.run();
-      },
-      "max_cycles");
+  core::MachineConfig fp = c.machine_config();
+  fp.max_cycles = 2'000'000;  // pre-escape, this livelocked to any budget
+  core::Simulator fp_sim(fp, program);
+  const core::SimulationResult fp_r = fp_sim.run();
+  EXPECT_GT(fp_r.locks.acquisitions, 0u);
+  EXPECT_LT(fp_r.run_time, fp.max_cycles)
+      << "aging escape must drain the starved release write";
+  // The starvation is real (someone waited into the escape window), and the
+  // escape bounds it: only the single oldest request is promoted per round,
+  // so a request behind a chain of even-older starvers can wait a few
+  // multiples of the bound — but never unboundedly (observed worst here is
+  // ~2x the bound).
+  EXPECT_GE(fp_r.discipline.max_grant_wait,
+            bus::FixedPriorityDiscipline::kStarvationEscapeCycles);
+  EXPECT_LT(fp_r.discipline.max_grant_wait,
+            4 * bus::FixedPriorityDiscipline::kStarvationEscapeCycles);
 
   for (const bus::DisciplineKind fair :
        {bus::DisciplineKind::kRoundRobin, bus::DisciplineKind::kFcfs}) {
@@ -178,6 +182,14 @@ TEST_F(ScalingDifferential, FixedPriorityStarvesPlainTasReleaser) {
     const core::SimulationResult r = sim.run();
     EXPECT_GT(r.locks.acquisitions, 0u)
         << bus::discipline_name(fair) << " should complete the workload";
+    // Same program, same machine: the workload's lock behaviour is conserved
+    // across disciplines even though the schedules differ.
+    EXPECT_EQ(r.locks.acquisitions, fp_r.locks.acquisitions);
+    // Fixed priority pays for the starvation it models: its worst grant wait
+    // dwarfs the fair disciplines'.
+    EXPECT_GT(fp_r.discipline.max_grant_wait,
+              4 * r.discipline.max_grant_wait)
+        << bus::discipline_name(fair);
   }
 }
 
